@@ -1,0 +1,89 @@
+// Command ccimg inspects a checkpoint image: job geometry, capture time,
+// per-rank park kinds, pending operations, image sizes, and drained
+// in-flight messages. The restart analog of `file`/`readelf` for MANA
+// images — useful for verifying what state a checkpoint actually captured.
+//
+//	ccimg /tmp/job.img
+//	ccimg -v /tmp/job.img   # per-rank detail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mana"
+	"mana/internal/ckpt"
+	"mana/internal/netmodel"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "per-rank detail")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ccimg [-v] <image-file>")
+		os.Exit(2)
+	}
+	img, err := mana.LoadImage(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccimg:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("checkpoint image: %s\n", flag.Arg(0))
+	fmt.Printf("  algorithm:   %s\n", img.Algorithm)
+	fmt.Printf("  ranks:       %d (%d per node, %d nodes)\n",
+		img.Ranks, img.PPN, (img.Ranks+img.PPN-1)/img.PPN)
+	fmt.Printf("  captured at: vt=%.6fs\n", img.CaptureVT)
+	fmt.Printf("  total bytes: %d", img.TotalBytes())
+	if img.PaddedBytesPerRank > 0 {
+		fmt.Printf(" (padded to %d per rank)", img.PaddedBytesPerRank)
+	}
+	fmt.Println()
+
+	parks := map[ckpt.ParkKind]int{}
+	var inflight, inflightBytes, pendingRecvs int
+	for i := range img.Images {
+		ri := &img.Images[i]
+		parks[ri.Desc.Kind]++
+		inflight += len(ri.Inflight)
+		for _, m := range ri.Inflight {
+			inflightBytes += len(m.Data)
+		}
+		pendingRecvs += len(ri.Desc.Recvs)
+	}
+	fmt.Printf("  park kinds:  ")
+	for _, k := range []ckpt.ParkKind{
+		ckpt.ParkPreCollective, ckpt.ParkInBarrier, ckpt.ParkInWait,
+		ckpt.ParkBoundary, ckpt.ParkDone,
+	} {
+		if parks[k] > 0 {
+			fmt.Printf("%s:%d ", k, parks[k])
+		}
+	}
+	fmt.Println()
+	fmt.Printf("  p2p drain:   %d in-flight messages (%d bytes), %d pending receives\n",
+		inflight, inflightBytes, pendingRecvs)
+
+	if *verbose {
+		fmt.Println()
+		for i := range img.Images {
+			ri := &img.Images[i]
+			fmt.Printf("rank %4d: park=%-14s app=%dB proto=%dB clock=%.6fs\n",
+				ri.Rank, ri.Desc.Kind, len(ri.App), len(ri.Proto), ri.ClockVT)
+			if ri.Desc.Coll != nil {
+				c := ri.Desc.Coll
+				fmt.Printf("           pending collective: %v on comm vid %d (root %d, bufs %q/%q)\n",
+					netmodel.CollKind(c.Kind), c.CommVID, c.Root, c.InBufID, c.OutBufID)
+			}
+			for _, rd := range ri.Desc.Recvs {
+				fmt.Printf("           pending recv: comm vid %d src %d tag %d -> %s[%d:%d]\n",
+					rd.CommVID, rd.Src, rd.Tag, rd.BufID, rd.Off, rd.Off+rd.Len)
+			}
+			for _, m := range ri.Inflight {
+				fmt.Printf("           in-flight: comm %d from %d tag %d (%d bytes)\n",
+					m.CommID, m.SrcComm, m.Tag, len(m.Data))
+			}
+		}
+	}
+}

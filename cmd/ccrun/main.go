@@ -1,0 +1,98 @@
+// Command ccrun runs one workload under a checkpointing algorithm, with
+// optional checkpoint-and-exit and restart — the repo's mpirun-under-MANA
+// analog. It demonstrates allocation chaining end to end:
+//
+//	ccrun -app vasp -algo cc -ranks 512 -ckpt-at 0.5 -image /tmp/job.img
+//	ccrun -app vasp -algo cc -ranks 512 -restart /tmp/job.img
+//
+// The first invocation drains to a safe state at virtual time 0.5 s, writes
+// the job image, and exits; the second rebuilds a fresh lower half, restores
+// the upper halves, and runs the job to completion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mana"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "vasp", "workload: vasp, poisson, comd, lammps, sw4")
+		algo    = flag.String("algo", mana.AlgoCC, "algorithm: native, 2pc, cc")
+		ranks   = flag.Int("ranks", 128, "MPI processes")
+		ppn     = flag.Int("ppn", 128, "ranks per node")
+		scale   = flag.Float64("scale", 0.01, "iteration scale (1.0 = paper-length run)")
+		ckptAt  = flag.Float64("ckpt-at", 0, "request a checkpoint at this virtual time (0 = none)")
+		cont    = flag.Bool("continue", false, "continue after the checkpoint instead of exiting")
+		image   = flag.String("image", "", "write the checkpoint image to this file")
+		restart = flag.String("restart", "", "restart from this image file")
+	)
+	flag.Parse()
+
+	factory, err := mana.Workload(*app, *scale)
+	if err != nil {
+		fail(err)
+	}
+	cfg := mana.Config{
+		Ranks:     *ranks,
+		PPN:       *ppn,
+		Params:    mana.PerlmutterLike(),
+		Algorithm: *algo,
+	}
+	if *ckptAt > 0 {
+		mode := mana.ExitAfterCapture
+		if *cont {
+			mode = mana.ContinueAfterCapture
+		}
+		cfg.Checkpoint = &mana.CkptPlan{AtVT: *ckptAt, Mode: mode}
+	}
+
+	var rep *mana.Report
+	if *restart != "" {
+		img, err := mana.LoadImage(*restart)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("restarting %d ranks from %s (captured at vt=%.4fs under %s)\n",
+			img.Ranks, *restart, img.CaptureVT, img.Algorithm)
+		cfg.Algorithm = img.Algorithm
+		rep, err = mana.Restart(cfg, img, factory)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		rep, err = mana.Run(cfg, factory)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	fmt.Printf("app=%s algo=%s ranks=%d ppn=%d\n", rep.App, rep.Algorithm, rep.Ranks, rep.PPN)
+	fmt.Printf("virtual runtime: %.4f s\n", rep.RuntimeVT)
+	fmt.Printf("collective calls: %d (%.1f/s per rank)   p2p calls: %d (%.1f/s per rank)\n",
+		rep.Counters.CollCalls(), rep.Rates.CollPerSec,
+		rep.Counters.P2PCalls(), rep.Rates.P2PPerSec)
+	if rep.Checkpoint != nil {
+		st := rep.Checkpoint
+		fmt.Printf("checkpoint: requested at %.4fs, safe state at %.4fs (drain %.2fms), "+
+			"%d bytes, write %.3fs\n",
+			st.RequestVT, st.CaptureVT, st.DrainVT*1e3, st.ImageBytes, st.WriteVT)
+	}
+	if !rep.Completed {
+		fmt.Println("job exited at checkpoint (restart to continue)")
+	}
+	if rep.Image != nil && *image != "" {
+		if err := mana.SaveImage(*image, rep.Image); err != nil {
+			fail(err)
+		}
+		fmt.Printf("image written to %s\n", *image)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ccrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,499 @@
+package apps
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"mana/internal/ckpt"
+	"mana/internal/netmodel"
+	"mana/internal/rt"
+)
+
+// --- FFT kernel -----------------------------------------------------------
+
+func TestFFTRoundtrip(t *testing.T) {
+	rng := splitmix64{S: 42}
+	x := make([]complex128, 128)
+	orig := make([]complex128, 128)
+	for i := range x {
+		x[i] = complex(rng.float()-0.5, rng.float()-0.5)
+		orig[i] = x[i]
+	}
+	fftForward(x)
+	fftInverse(x)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-12 {
+			t.Fatalf("roundtrip error at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	const n = 16
+	rng := splitmix64{S: 7}
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.float()-0.5, rng.float()-0.5)
+	}
+	want := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k*j) / n
+			want[k] += x[j] * cmplx.Exp(complex(0, ang))
+		}
+	}
+	got := append([]complex128(nil), x...)
+	fftForward(got)
+	for k := 0; k < n; k++ {
+		if cmplx.Abs(got[k]-want[k]) > 1e-10 {
+			t.Fatalf("bin %d: fft %v, dft %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := splitmix64{S: 99}
+	x := make([]complex128, 64)
+	var timeE float64
+	for i := range x {
+		x[i] = complex(rng.float()-0.5, rng.float()-0.5)
+		timeE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	fftForward(x)
+	var freqE float64
+	for _, z := range x {
+		freqE += real(z)*real(z) + imag(z)*imag(z)
+	}
+	if math.Abs(freqE/float64(len(x))-timeE) > 1e-10 {
+		t.Fatalf("Parseval violated: %g vs %g", freqE/64, timeE)
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length 12 accepted")
+		}
+	}()
+	fftForward(make([]complex128, 12))
+}
+
+// Property: FFT is linear.
+func TestPropertyFFTLinear(t *testing.T) {
+	f := func(a, b [8]float64, s uint8) bool {
+		n := 8
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		sum := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			x[i] = complex(clamp(a[i]), 0)
+			y[i] = complex(clamp(b[i]), 0)
+			sum[i] = x[i] + y[i]
+		}
+		fftForward(x)
+		fftForward(y)
+		fftForward(sum)
+		for i := 0; i < n; i++ {
+			if cmplx.Abs(sum[i]-(x[i]+y[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 100)
+}
+
+// --- Lennard-Jones --------------------------------------------------------
+
+func TestLJForceShape(t *testing.T) {
+	// Repulsive inside the minimum, attractive outside, zero past cutoff.
+	rmin := math.Pow(2, 1.0/6)
+	if f, _ := ljForce(rmin * 0.8); f <= 0 {
+		t.Fatal("short range should repel")
+	}
+	if f, _ := ljForce(rmin * 1.2); f >= 0 {
+		t.Fatal("long range should attract")
+	}
+	if f, u := ljForce(3.5); f != 0 || u != 0 {
+		t.Fatal("beyond cutoff should be zero")
+	}
+	if f, _ := ljForce(rmin); math.Abs(f) > 1e-10 {
+		t.Fatalf("force at minimum should vanish, got %g", f)
+	}
+	if _, u := ljForce(rmin); u >= 0 {
+		t.Fatal("potential at minimum should be negative")
+	}
+}
+
+// --- Workload runs under the runtime ---------------------------------------
+
+func smallConfig(ranks int, algo string) rt.Config {
+	return rt.Config{Ranks: ranks, PPN: 4, Params: netmodel.PerlmutterLike(), Algorithm: algo}
+}
+
+func runWorkload(t *testing.T, name string, ranks int, algo string, scale float64) *rt.Report {
+	t.Helper()
+	factory, err := Factory(name, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run(smallConfig(ranks, algo), factory)
+	if err != nil {
+		t.Fatalf("%s under %s: %v", name, algo, err)
+	}
+	if !rep.Completed {
+		t.Fatalf("%s did not complete", name)
+	}
+	return rep
+}
+
+func TestAllWorkloadsRunNative(t *testing.T) {
+	// Scales chosen so every workload executes at least one collective
+	// (the MD/stencil codes reduce only every EnergyEvery steps).
+	scales := map[string]float64{"vasp": 0.001, "poisson": 0.02, "comd": 0.01, "lammps": 0.01, "sw4": 0.02}
+	for _, name := range Names {
+		rep := runWorkload(t, name, 8, rt.AlgoNative, scales[name])
+		if rep.RuntimeVT <= 0 {
+			t.Errorf("%s: no virtual time", name)
+		}
+		if rep.Counters.CollCalls() == 0 {
+			t.Errorf("%s: no collectives", name)
+		}
+	}
+}
+
+func TestWorkloadCommunicationMix(t *testing.T) {
+	// Table 1's qualitative ordering: VASP is collective-heavy; the MD and
+	// stencil codes are p2p-dominated; Poisson has no p2p at all.
+	vasp := runWorkload(t, "vasp", 8, rt.AlgoNative, 0.001)
+	if vasp.Counters.CollCalls() == 0 || vasp.Counters.P2PSends == 0 {
+		t.Fatal("vasp must mix collectives and p2p")
+	}
+	pois := runWorkload(t, "poisson", 8, rt.AlgoNative, 0.02)
+	if pois.Counters.P2PSends != 0 {
+		t.Fatal("poisson should have no point-to-point traffic")
+	}
+	if pois.Counters.CollNonblocking == 0 {
+		t.Fatal("poisson must use non-blocking collectives")
+	}
+	if pois.Counters.CollBlocking != 0 {
+		t.Fatal("poisson should use only non-blocking collectives")
+	}
+	for _, name := range []string{"comd", "lammps", "sw4"} {
+		rep := runWorkload(t, name, 8, rt.AlgoNative, 0.01)
+		if rep.Counters.P2PCalls() <= rep.Counters.CollCalls() {
+			t.Errorf("%s should be p2p-dominated: %d p2p vs %d coll",
+				name, rep.Counters.P2PCalls(), rep.Counters.CollCalls())
+		}
+	}
+}
+
+func TestTable1RateOrdering(t *testing.T) {
+	// Collective call rates must be ordered as in Table 1:
+	// vasp >> poisson > comd > lammps > sw4.
+	rates := map[string]float64{}
+	scales := map[string]float64{"vasp": 0.001, "poisson": 0.05, "comd": 0.02, "lammps": 0.02, "sw4": 0.03}
+	for _, name := range Names {
+		rep := runWorkload(t, name, 8, rt.AlgoNative, scales[name])
+		rates[name] = rep.Rates.CollPerSec
+	}
+	order := []string{"vasp", "poisson", "comd", "lammps", "sw4"}
+	for i := 0; i+1 < len(order); i++ {
+		if rates[order[i]] <= rates[order[i+1]] {
+			t.Errorf("rate(%s)=%.2f should exceed rate(%s)=%.2f",
+				order[i], rates[order[i]], order[i+1], rates[order[i+1]])
+		}
+	}
+}
+
+func TestPoissonConverges(t *testing.T) {
+	cfg := PoissonConfig{N: 64, MaxIters: 200, Tol: 1e-6, ComputeVT: 1e-6}
+	apps := make([]*Poisson, 4)
+	rep, err := rt.Run(smallConfig(4, rt.AlgoCC), func(rank int) rt.App {
+		a := NewPoisson(cfg)
+		apps[rank] = a
+		return a
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rep
+	if !apps[0].Converged {
+		t.Fatalf("CG did not converge: residual %g after %d iters", apps[0].Residual, apps[0].Iter)
+	}
+	// Identical blocks: solution satisfies A x = 1 locally.
+	x := apps[0].X
+	n := len(x)
+	for i := 1; i+1 < n; i++ {
+		r := 2*x[i] - x[i-1] - x[i+1]
+		if math.Abs(r-1) > 1e-4 {
+			t.Fatalf("residual check failed at %d: Ax=%g", i, r)
+		}
+	}
+}
+
+func TestMDEnergyStability(t *testing.T) {
+	cfg := DefaultCoMDConfig()
+	cfg.Steps = 200
+	cfg.ComputeVT = 1e-6
+	cfg.EnergyEvery = 10
+	apps := make([]*MD, 4)
+	_, err := rt.Run(smallConfig(4, rt.AlgoNative), func(rank int) rt.App {
+		a := NewMD(cfg)
+		apps[rank] = a
+		return a
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := apps[0].Energy
+	if math.IsNaN(e) || math.IsInf(e, 0) {
+		t.Fatalf("energy diverged: %v", e)
+	}
+	for _, p := range apps[0].Pos {
+		if math.IsNaN(p) {
+			t.Fatal("positions diverged")
+		}
+	}
+}
+
+func TestSW4WaveStability(t *testing.T) {
+	cfg := DefaultSW4Config()
+	cfg.Steps = 300
+	cfg.ComputeVT = 1e-6
+	cfg.StabilityEvery = 50
+	apps := make([]*SW4Mini, 4)
+	_, err := rt.Run(smallConfig(4, rt.AlgoNative), func(rank int) rt.App {
+		a := NewSW4Mini(cfg)
+		apps[rank] = a
+		return a
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A linear wave with CFL < 1 must stay bounded near its initial
+	// amplitude (1.0); growth indicates an unstable stencil or halo bug.
+	if apps[0].MaxU > 1.5 {
+		t.Fatalf("wave amplitude grew to %g (unstable)", apps[0].MaxU)
+	}
+	if apps[0].MaxU <= 0 {
+		t.Fatal("wave vanished")
+	}
+}
+
+func TestVASPEnergyTracked(t *testing.T) {
+	cfg := DefaultVASPConfig()
+	cfg.Iterations = 10
+	cfg.ComputeVT = 1e-6
+	apps := make([]*VASPMini, 8)
+	_, err := rt.Run(smallConfig(8, rt.AlgoCC), func(rank int) rt.App {
+		a := NewVASPMini(cfg)
+		apps[rank] = a
+		return a
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apps[0].Energy <= 0 {
+		t.Fatalf("energy %g not positive", apps[0].Energy)
+	}
+	// All ranks see the same (allreduced) energy.
+	for r, a := range apps {
+		if a.Energy != apps[0].Energy {
+			t.Fatalf("rank %d energy %g != rank 0 %g", r, a.Energy, apps[0].Energy)
+		}
+	}
+}
+
+// checkpointRestartWorkload checkpoints a workload mid-run, restarts from
+// the image, and compares against an uninterrupted run.
+func checkpointRestartWorkload(t *testing.T, name string, algo string, scale float64) {
+	t.Helper()
+	factory, err := Factory(name, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := rt.Run(smallConfig(8, algo), factory)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	cfg := smallConfig(8, algo)
+	cfg.Checkpoint = &rt.CkptPlan{AtVT: base.RuntimeVT / 2, Mode: ckpt.ExitAfterCapture}
+	rep, err := rt.Run(cfg, factory)
+	if err != nil {
+		t.Fatalf("checkpoint leg: %v", err)
+	}
+	if rep.Image == nil {
+		t.Fatal("no image")
+	}
+	cfg2 := smallConfig(8, algo)
+	rep2, err := rt.Restart(cfg2, rep.Image, factory)
+	if err != nil {
+		t.Fatalf("restart leg: %v", err)
+	}
+	if !rep2.Completed {
+		t.Fatal("restarted run did not complete")
+	}
+	// The two legs together must perform the remaining work: combined
+	// collective counts bracket the baseline (the drain may add a few).
+	combined := rep.Counters.CollCalls() + rep2.Counters.CollCalls()
+	if combined < base.Counters.CollCalls() {
+		t.Fatalf("work lost across restart: %d+%d < %d",
+			rep.Counters.CollCalls(), rep2.Counters.CollCalls(), base.Counters.CollCalls())
+	}
+}
+
+func TestCheckpointRestartEveryWorkloadCC(t *testing.T) {
+	scales := map[string]float64{"vasp": 0.0005, "poisson": 0.05, "comd": 0.01, "lammps": 0.01, "sw4": 0.01}
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			checkpointRestartWorkload(t, name, rt.AlgoCC, scales[name])
+		})
+	}
+}
+
+func TestCheckpointRestartBlockingWorkloads2PC(t *testing.T) {
+	// 2PC cannot run poisson (non-blocking collectives).
+	for _, name := range []string{"vasp", "comd", "sw4"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			scale := map[string]float64{"vasp": 0.0005, "comd": 0.01, "sw4": 0.01}[name]
+			checkpointRestartWorkload(t, name, rt.Algo2PC, scale)
+		})
+	}
+}
+
+func TestOSUBenchmarks(t *testing.T) {
+	for _, nb := range []bool{false, true} {
+		cfg := OSUConfig{Kind: netmodel.Bcast, Nonblocking: nb, Size: 4, Iterations: 50}
+		rep, err := rt.Run(smallConfig(8, rt.AlgoCC), func(int) rt.App { return NewOSU(cfg) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(8 * 50)
+		if got := rep.Counters.CollCalls(); got < want {
+			t.Fatalf("nb=%v: %d collective calls, want >= %d", nb, got, want)
+		}
+	}
+}
+
+func TestOSURejectsNonblockingUnder2PC(t *testing.T) {
+	cfg := OSUConfig{Kind: netmodel.Allreduce, Nonblocking: true, Size: 4, Iterations: 5}
+	if _, err := rt.Run(smallConfig(4, rt.Algo2PC), func(int) rt.App { return NewOSU(cfg) }); err == nil {
+		t.Fatal("2PC accepted a non-blocking OSU benchmark")
+	}
+}
+
+func TestOSUOverheadOrdering(t *testing.T) {
+	// The headline result at micro-benchmark scale: native <= CC << 2PC for
+	// small-message Bcast (Figure 5a's leftmost panels).
+	run := func(algo string) float64 {
+		cfg := OSUConfig{Kind: netmodel.Bcast, Size: 4, Iterations: 300}
+		rep, err := rt.Run(smallConfig(16, algo), func(int) rt.App { return NewOSU(cfg) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.RuntimeVT
+	}
+	native, cc, twoPC := run(rt.AlgoNative), run(rt.AlgoCC), run(rt.Algo2PC)
+	if cc < native {
+		t.Fatalf("cc (%g) beat native (%g)", cc, native)
+	}
+	ccOver := (cc - native) / native
+	pcOver := (twoPC - native) / native
+	if ccOver > 0.10 {
+		t.Fatalf("CC overhead %.1f%% too high for small bcast", ccOver*100)
+	}
+	if pcOver < 2*ccOver {
+		t.Fatalf("2PC overhead %.1f%% should dwarf CC's %.1f%%", pcOver*100, ccOver*100)
+	}
+}
+
+func TestFactoryErrors(t *testing.T) {
+	if _, err := Factory("nope", 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if !UsesNonblockingCollectives("poisson") || UsesNonblockingCollectives("vasp") {
+		t.Fatal("non-blocking classification wrong")
+	}
+}
+
+func TestOSUP2PLatency(t *testing.T) {
+	cfg := OSUP2PConfig{Size: 8, Iterations: 40, Peer: 1}
+	rep, err := rt.Run(smallConfig(4, rt.AlgoCC), func(int) rt.App { return NewOSUP2P(cfg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counters.P2PSends < 80 { // 40 pings + 40 pongs
+		t.Fatalf("sends %d", rep.Counters.P2PSends)
+	}
+	// Inter-node ping-pong must be slower than intra-node.
+	interCfg := OSUP2PConfig{Size: 8, Iterations: 40, Peer: 3} // ppn=4? peer on same... use ranks 8, ppn 4 below
+	rep2, err := rt.Run(smallConfig(8, rt.AlgoCC), func(int) rt.App {
+		c := interCfg
+		c.Peer = 4 // other node at ppn=4
+		return NewOSUP2P(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, err := rt.Run(smallConfig(8, rt.AlgoCC), func(int) rt.App { return NewOSUP2P(cfg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.RuntimeVT <= intra.RuntimeVT {
+		t.Fatalf("inter-node (%g) should be slower than intra-node (%g)", rep2.RuntimeVT, intra.RuntimeVT)
+	}
+}
+
+func TestOSUP2PBandwidth(t *testing.T) {
+	cfg := OSUP2PConfig{Bandwidth: true, Size: 4096, Window: 16, Iterations: 10, Peer: 1}
+	rep, err := rt.Run(smallConfig(4, rt.AlgoNative), func(int) rt.App { return NewOSUP2P(cfg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 windows x 16 messages + 10 acks from the peer.
+	if rep.Counters.P2PSends < 170 {
+		t.Fatalf("sends %d", rep.Counters.P2PSends)
+	}
+	if rep.Counters.BytesSent < 10*16*4096 {
+		t.Fatalf("bytes %d", rep.Counters.BytesSent)
+	}
+}
+
+func TestOSUP2PCheckpointRestart(t *testing.T) {
+	cfg := OSUP2PConfig{Size: 64, Iterations: 200, Peer: 1}
+	base, err := rt.Run(smallConfig(4, rt.AlgoCC), func(int) rt.App { return NewOSUP2P(cfg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := smallConfig(4, rt.AlgoCC)
+	run.Checkpoint = &rt.CkptPlan{AtVT: base.RuntimeVT / 2, Mode: ckpt.ExitAfterCapture}
+	rep, err := rt.Run(run, func(int) rt.App { return NewOSUP2P(cfg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Image == nil {
+		t.Skip("finished before checkpoint")
+	}
+	rep2, err := rt.Restart(smallConfig(4, rt.AlgoCC), rep.Image, func(int) rt.App { return NewOSUP2P(cfg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Completed {
+		t.Fatal("restart incomplete")
+	}
+}

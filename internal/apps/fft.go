@@ -1,0 +1,56 @@
+package apps
+
+import "math"
+
+// FFT is an iterative radix-2 Cooley-Tukey transform used by the VASP proxy
+// (VASP's runtime is dominated by 3-D FFTs whose distributed transposes
+// drive its extreme collective-call rate; paper §1, §5.4).
+
+// fftForward computes the in-place forward DFT of a power-of-two-length
+// complex vector.
+func fftForward(x []complex128) { fftRadix2(x, false) }
+
+// fftInverse computes the in-place inverse DFT (normalized by 1/N).
+func fftInverse(x []complex128) {
+	fftRadix2(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func fftRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n&(n-1) != 0 {
+		panic("apps: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package apps
+
+import (
+	"fmt"
+
+	"mana/internal/rt"
+)
+
+// Names of the registered real-world proxy workloads, in the paper's
+// Table 1 order (by collective-call rate, descending).
+var Names = []string{"vasp", "poisson", "comd", "lammps", "sw4"}
+
+// Factory returns a per-rank application factory for the named workload,
+// with all iteration counts multiplied by scale (1.0 reproduces the paper's
+// full virtual runtimes; the harness defaults to a smaller scale because
+// rates and overhead percentages are scale-invariant).
+func Factory(name string, scale float64) (func(rank int) rt.App, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	scaleN := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 3 {
+			v = 3
+		}
+		return v
+	}
+	switch name {
+	case "vasp":
+		cfg := DefaultVASPConfig()
+		cfg.Iterations = scaleN(cfg.Iterations)
+		return func(int) rt.App { return NewVASPMini(cfg) }, nil
+	case "poisson":
+		cfg := DefaultPoissonConfig()
+		cfg.MaxIters = scaleN(cfg.MaxIters)
+		return func(int) rt.App { return NewPoisson(cfg) }, nil
+	case "comd":
+		cfg := DefaultCoMDConfig()
+		cfg.Steps = atLeast(scaleN(cfg.Steps), 2*cfg.EnergyEvery)
+		return func(int) rt.App { return NewMD(cfg) }, nil
+	case "lammps":
+		cfg := DefaultLJConfig()
+		cfg.Steps = atLeast(scaleN(cfg.Steps), 2*cfg.EnergyEvery)
+		return func(int) rt.App { return NewMD(cfg) }, nil
+	case "sw4":
+		cfg := DefaultSW4Config()
+		cfg.Steps = atLeast(scaleN(cfg.Steps), 2*cfg.StabilityEvery)
+		return func(int) rt.App { return NewSW4Mini(cfg) }, nil
+	}
+	return nil, fmt.Errorf("apps: unknown workload %q (known: %v)", name, Names)
+}
+
+// UsesNonblockingCollectives reports whether the workload initiates
+// non-blocking collectives — such workloads cannot run under 2PC (the
+// paper's "NA" entries for the Poisson solver).
+func UsesNonblockingCollectives(name string) bool { return name == "poisson" }
+
+// atLeast floors scaled step counts so every workload performs at least a
+// couple of its periodic collectives even at tiny scales.
+func atLeast(v, min int) int {
+	if v < min {
+		return min
+	}
+	return v
+}

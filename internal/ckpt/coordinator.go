@@ -1,0 +1,360 @@
+package ckpt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mana/internal/mpi"
+)
+
+// Mode selects what happens after a checkpoint is captured.
+type Mode int
+
+// Checkpoint modes.
+const (
+	// ContinueAfterCapture: the job resumes in place (the common production
+	// pattern: periodic checkpoints of a long run).
+	ContinueAfterCapture Mode = iota
+	// ExitAfterCapture: the job terminates once captured; the returned
+	// images are used to restart (chaining resource allocations).
+	ExitAfterCapture
+)
+
+// RankHooks are the capture callbacks the runtime registers per rank. They
+// are invoked while the rank is parked (blocked), so they may read the
+// rank's state without further synchronization.
+type RankHooks struct {
+	// AppSnapshot serializes the application's upper-half state.
+	AppSnapshot func() ([]byte, error)
+	// ProtoSnapshot serializes the protocol state (via Protocol.Snapshot).
+	ProtoSnapshot func() ([]byte, error)
+	// ClockVT reads the rank's virtual clock.
+	ClockVT func() float64
+	// SetClock forces the rank's clock (used to charge checkpoint I/O time
+	// before release).
+	SetClock func(vt float64)
+	// PendingRecvs reports the rank's incomplete posted receives at capture
+	// time; they are recorded in the image and re-posted after restart.
+	PendingRecvs func() []RecvDesc
+}
+
+// CheckpointStats summarizes one checkpoint.
+type CheckpointStats struct {
+	RequestVT  float64 // virtual time the request was raised
+	CaptureVT  float64 // virtual time the safe state was reached (max rank)
+	DrainVT    float64 // CaptureVT - RequestVT: cost of the drain protocol
+	ImageBytes int64
+	WriteVT    float64 // modeled storage write time charged to the job
+}
+
+// phase of the coordinator's checkpoint state machine.
+type phase int
+
+const (
+	phaseIdle phase = iota
+	phasePending
+	phaseReleased
+	phaseTerminated
+)
+
+// Coordinator orchestrates checkpoints: it owns the parked-rank registry,
+// decides when the global safe state has been reached, captures images, and
+// releases or terminates the job. It is the analog of the DMTCP coordinator
+// plus MANA's checkpoint manager thread.
+type Coordinator struct {
+	W    *mpi.World
+	Algo Algorithm
+	Mode Mode
+
+	pending atomic.Bool // fast-path flag read in every wrapper
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	ph        phase
+	parked    []bool
+	descs     []*Descriptor
+	doneRanks []bool
+	hooks     []RankHooks
+	requestVT float64
+
+	image   *JobImage
+	stats   CheckpointStats
+	history []CheckpointStats
+	err     error
+}
+
+// NewCoordinator creates a coordinator for a world. The algorithm is
+// attached afterwards via SetAlgorithm (protocols and coordinator reference
+// each other).
+func NewCoordinator(w *mpi.World, mode Mode) *Coordinator {
+	c := &Coordinator{W: w, Mode: mode}
+	c.cond = sync.NewCond(&c.mu)
+	c.parked = make([]bool, w.N)
+	c.descs = make([]*Descriptor, w.N)
+	c.doneRanks = make([]bool, w.N)
+	c.hooks = make([]RankHooks, w.N)
+	return c
+}
+
+// SetAlgorithm attaches the job-wide algorithm.
+func (c *Coordinator) SetAlgorithm(a Algorithm) { c.Algo = a }
+
+// RegisterRank installs the capture hooks for a rank. Must be called before
+// any checkpoint is requested.
+func (c *Coordinator) RegisterRank(rank int, h RankHooks) {
+	c.mu.Lock()
+	c.hooks[rank] = h
+	c.mu.Unlock()
+}
+
+// Pending reports whether a checkpoint request is outstanding. Wrappers
+// check this on their fast path; it is a single atomic load.
+func (c *Coordinator) Pending() bool { return c.pending.Load() }
+
+// MarkPending flips the wrappers' fast-path flag. The algorithm calls this
+// from OnCheckpointRequest at the exact point in its own synchronization
+// where targets become authoritative (for CC: inside the exclusive section
+// that snapshots the sequence numbers, so no increment can race the target
+// computation).
+func (c *Coordinator) MarkPending() { c.pending.Store(true) }
+
+// Poke wakes every parked rank (and the capture watcher) so they re-evaluate
+// their predicates. Protocols call this after any action that could unblock
+// a peer: sending a target update, executing a collective, initiating a
+// non-blocking operation, or sending a point-to-point message while a
+// checkpoint is pending.
+func (c *Coordinator) Poke() {
+	c.mu.Lock()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.W.WakeAll()
+}
+
+// RequestCheckpoint raises a checkpoint request at the given virtual time.
+// It installs the algorithm's targets (Algorithm 1) and starts the capture
+// watcher. Subsequent requests while one is pending are ignored.
+func (c *Coordinator) RequestCheckpoint(vt float64) bool {
+	c.mu.Lock()
+	if c.ph != phaseIdle {
+		c.mu.Unlock()
+		return false
+	}
+	c.ph = phasePending
+	c.requestVT = vt
+	c.image = nil
+	c.err = nil
+	c.mu.Unlock()
+
+	c.Algo.OnCheckpointRequest()
+	c.pending.Store(true)
+	go c.captureWatcher()
+	c.Poke()
+	return true
+}
+
+// captureWatcher waits for the global safe state, captures, then releases
+// or terminates. The capture happens under the coordinator lock, so no rank
+// can unpark between the safe-state check and the capture.
+func (c *Coordinator) captureWatcher() {
+	c.mu.Lock()
+	for !(c.ph == phasePending && c.allParkedLocked() && c.Algo.Quiesced()) {
+		if c.ph != phasePending {
+			c.mu.Unlock()
+			return
+		}
+		c.cond.Wait()
+	}
+	// Safe state reached: every rank is parked at a capturable point and the
+	// algorithm's drain is complete. Capture with all ranks blocked.
+	c.captureLocked()
+	c.mu.Unlock()
+	c.W.WakeAll()
+}
+
+func (c *Coordinator) allParkedLocked() bool {
+	for i, p := range c.parked {
+		if !p && !c.doneRanks[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// captureLocked builds the job image, charges storage time, verifies
+// invariants, and transitions to released/terminated. Caller holds c.mu.
+func (c *Coordinator) captureLocked() {
+	{
+		if err := c.Algo.VerifySafeState(); err != nil {
+			c.err = fmt.Errorf("ckpt: safe-state invariant violated: %w", err)
+		}
+
+		img := &JobImage{
+			Algorithm: c.Algo.Name(),
+			Ranks:     c.W.N,
+			PPN:       c.W.Model.PPN,
+			Images:    make([]RankImage, c.W.N),
+		}
+		var maxVT float64
+		for r := 0; r < c.W.N; r++ {
+			ri := RankImage{Rank: r}
+			if d := c.descs[r]; d != nil {
+				ri.Desc = *d
+			} else if c.doneRanks[r] {
+				ri.Desc = Descriptor{Kind: ParkDone}
+			}
+			if h := c.hooks[r]; h.PendingRecvs != nil {
+				// The authoritative list of incomplete receives is computed
+				// now, at capture time (a receive recorded at park time may
+				// have completed since).
+				ri.Desc.Recvs = h.PendingRecvs()
+				if posted := c.W.PendingPosted(r); posted != len(ri.Desc.Recvs) && c.err == nil {
+					c.err = fmt.Errorf("ckpt: rank %d has %d posted receives but %d descriptors",
+						r, posted, len(ri.Desc.Recvs))
+				}
+			}
+			if h := c.hooks[r]; h.AppSnapshot != nil {
+				app, err := h.AppSnapshot()
+				if err != nil && c.err == nil {
+					c.err = fmt.Errorf("ckpt: rank %d app snapshot: %w", r, err)
+				}
+				ri.App = app
+				proto, err := h.ProtoSnapshot()
+				if err != nil && c.err == nil {
+					c.err = fmt.Errorf("ckpt: rank %d protocol snapshot: %w", r, err)
+				}
+				ri.Proto = proto
+				ri.ClockVT = h.ClockVT()
+				if ri.ClockVT > maxVT {
+					maxVT = ri.ClockVT
+				}
+			}
+			// MANA's p2p drain: in-flight (sent, unreceived) messages become
+			// part of the receiver's upper half.
+			ri.Inflight = c.W.SnapshotInflight(r)
+			img.Images[r] = ri
+		}
+		img.CaptureVT = maxVT
+
+		c.stats = CheckpointStats{
+			RequestVT:  c.requestVT,
+			CaptureVT:  maxVT,
+			DrainVT:    maxVT - c.requestVT,
+			ImageBytes: img.TotalBytes(),
+		}
+		nodes := (c.W.N + c.W.Model.PPN - 1) / c.W.Model.PPN
+		c.stats.WriteVT = c.W.Model.CheckpointWriteTime(img.TotalBytes(), nodes)
+		c.image = img
+		c.history = append(c.history, c.stats)
+
+		// Charge the checkpoint I/O to every rank and resynchronize clocks
+		// (the job stalls while images stream to storage).
+		resume := maxVT + c.stats.WriteVT
+		for r := 0; r < c.W.N; r++ {
+			if h := c.hooks[r]; h.SetClock != nil && !c.doneRanks[r] {
+				h.SetClock(resume)
+			}
+		}
+
+		c.pending.Store(false)
+		if c.Mode == ExitAfterCapture {
+			c.ph = phaseTerminated
+		} else {
+			c.ph = phaseReleased
+		}
+		c.cond.Broadcast()
+	}
+}
+
+// ParkUntil parks the rank at a capturable point described by d. decide is
+// evaluated under the coordinator lock after every wake; returning Resume
+// unparks the rank (new work arrived: a target update, a completed receive).
+// The outcome tells the caller whether to continue executing (Proceed),
+// continue after an in-place checkpoint (Released), or unwind (Terminated).
+func (c *Coordinator) ParkUntil(rank int, d *Descriptor, decide func() Decision) Outcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ph != phasePending {
+		return Proceed
+	}
+	c.parked[rank] = true
+	c.descs[rank] = d
+	c.cond.Broadcast() // the capture watcher may now see all-parked
+
+	for {
+		switch c.ph {
+		case phaseReleased, phaseIdle:
+			// Captured (or a concurrent release); this rank continues.
+			c.parked[rank] = false
+			c.descs[rank] = nil
+			if c.ph == phaseReleased {
+				c.maybeBackToIdleLocked()
+			}
+			return Released
+		case phaseTerminated:
+			return Terminated
+		}
+		if decide() == Resume {
+			c.parked[rank] = false
+			c.descs[rank] = nil
+			c.cond.Broadcast()
+			return Proceed
+		}
+		c.cond.Wait()
+	}
+}
+
+// maybeBackToIdleLocked returns the coordinator to idle once every rank has
+// acknowledged the release, enabling checkpoint chaining.
+func (c *Coordinator) maybeBackToIdleLocked() {
+	for _, p := range c.parked {
+		if p {
+			return
+		}
+	}
+	c.ph = phaseIdle
+}
+
+// FinishRank marks a rank as having completed its program. Finished ranks
+// count as parked for capture purposes.
+func (c *Coordinator) FinishRank(rank int) {
+	c.mu.Lock()
+	c.doneRanks[rank] = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Outcome returns the checkpoint results once a capture has happened.
+func (c *Coordinator) Result() (*JobImage, CheckpointStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.image, c.stats, c.err
+}
+
+// History returns the statistics of every checkpoint captured during the
+// run (periodic checkpointing captures several).
+func (c *Coordinator) History() []CheckpointStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CheckpointStats, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+// Terminated reports whether the job was checkpoint-terminated.
+func (c *Coordinator) Terminated() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ph == phaseTerminated
+}
+
+// WaitLocked blocks the caller on the coordinator condition variable for one
+// wake cycle; protocols use it inside their own decide loops. The caller
+// must NOT hold c's lock; pred is evaluated under it.
+func (c *Coordinator) WaitFor(pred func() bool) {
+	c.mu.Lock()
+	for !pred() {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}

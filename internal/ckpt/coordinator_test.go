@@ -1,0 +1,215 @@
+package ckpt
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mana/internal/mpi"
+	"mana/internal/netmodel"
+)
+
+// stubAlgo is a minimal Algorithm for exercising the coordinator state
+// machine directly.
+type stubAlgo struct {
+	mu        sync.Mutex
+	quiesced  bool
+	verifyErr error
+	requested int
+}
+
+func (s *stubAlgo) Name() string                              { return "stub" }
+func (s *stubAlgo) SupportsNonblocking() bool                 { return true }
+func (s *stubAlgo) NewRank(p *mpi.Proc, w *mpi.Comm) Protocol { return nativeRank{} }
+func (s *stubAlgo) OnCheckpointRequest() {
+	s.mu.Lock()
+	s.requested++
+	s.mu.Unlock()
+}
+func (s *stubAlgo) Quiesced() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quiesced
+}
+func (s *stubAlgo) VerifySafeState() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.verifyErr
+}
+
+func newStubCoordinator(n int, mode Mode) (*Coordinator, *stubAlgo, *mpi.World) {
+	w := mpi.NewWorld(n, netmodel.New(netmodel.PerlmutterLike(), n))
+	c := NewCoordinator(w, mode)
+	a := &stubAlgo{quiesced: true}
+	c.SetAlgorithm(a)
+	for r := 0; r < n; r++ {
+		rank := r
+		c.RegisterRank(r, RankHooks{
+			AppSnapshot:   func() ([]byte, error) { return []byte{byte(rank)}, nil },
+			ProtoSnapshot: func() ([]byte, error) { return nil, nil },
+			ClockVT:       func() float64 { return float64(rank) },
+			SetClock:      func(vt float64) {},
+			PendingRecvs:  func() []RecvDesc { return nil },
+		})
+	}
+	return c, a, w
+}
+
+func TestCoordinatorCaptureRelease(t *testing.T) {
+	const n = 3
+	c, _, _ := newStubCoordinator(n, ContinueAfterCapture)
+	if !c.RequestCheckpoint(1.0) {
+		t.Fatal("request rejected")
+	}
+	if c.RequestCheckpoint(2.0) {
+		t.Fatal("double request accepted")
+	}
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			outcomes[rank] = c.ParkUntil(rank, &Descriptor{Kind: ParkBoundary},
+				func() Decision { return Stay })
+		}(r)
+	}
+	wg.Wait()
+	for r, o := range outcomes {
+		if o != Released {
+			t.Fatalf("rank %d outcome %v, want Released", r, o)
+		}
+	}
+	img, stats, err := c.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img == nil || img.Ranks != n {
+		t.Fatal("no image captured")
+	}
+	if stats.CaptureVT != float64(n-1) {
+		t.Fatalf("capture VT %g, want max rank clock %d", stats.CaptureVT, n-1)
+	}
+	if img.Images[1].App[0] != 1 {
+		t.Fatal("per-rank snapshots misrouted")
+	}
+	// Continue mode returns the coordinator to idle: a second checkpoint
+	// must be acceptable.
+	if !c.RequestCheckpoint(5.0) {
+		t.Fatal("chained request rejected after release")
+	}
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c.ParkUntil(rank, &Descriptor{Kind: ParkBoundary}, func() Decision { return Stay })
+		}(r)
+	}
+	wg.Wait()
+	if len(c.History()) != 2 {
+		t.Fatalf("history has %d entries, want 2", len(c.History()))
+	}
+}
+
+func TestCoordinatorTerminate(t *testing.T) {
+	const n = 2
+	c, _, _ := newStubCoordinator(n, ExitAfterCapture)
+	c.RequestCheckpoint(0)
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			outcomes[rank] = c.ParkUntil(rank, &Descriptor{Kind: ParkBoundary},
+				func() Decision { return Stay })
+		}(r)
+	}
+	wg.Wait()
+	for r, o := range outcomes {
+		if o != Terminated {
+			t.Fatalf("rank %d outcome %v, want Terminated", r, o)
+		}
+	}
+	if !c.Terminated() {
+		t.Fatal("coordinator not terminated")
+	}
+}
+
+func TestCoordinatorUnparkOnResume(t *testing.T) {
+	c, _, _ := newStubCoordinator(2, ContinueAfterCapture)
+	c.RequestCheckpoint(0)
+	// Rank 0 parks but its decide resumes when poked with work available.
+	work := false
+	var mu sync.Mutex
+	done := make(chan Outcome, 1)
+	go func() {
+		done <- c.ParkUntil(0, &Descriptor{Kind: ParkBoundary}, func() Decision {
+			mu.Lock()
+			defer mu.Unlock()
+			if work {
+				return Resume
+			}
+			return Stay
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	mu.Lock()
+	work = true
+	mu.Unlock()
+	c.Poke()
+	if o := <-done; o != Proceed {
+		t.Fatalf("outcome %v, want Proceed (unparked for new work)", o)
+	}
+}
+
+func TestCoordinatorQuiesceGatesCapture(t *testing.T) {
+	c, a, _ := newStubCoordinator(1, ContinueAfterCapture)
+	a.mu.Lock()
+	a.quiesced = false
+	a.mu.Unlock()
+	c.RequestCheckpoint(0)
+	captured := make(chan Outcome, 1)
+	go func() {
+		captured <- c.ParkUntil(0, &Descriptor{Kind: ParkBoundary}, func() Decision { return Stay })
+	}()
+	select {
+	case <-captured:
+		t.Fatal("capture happened while the algorithm was not quiesced")
+	case <-time.After(30 * time.Millisecond):
+	}
+	a.mu.Lock()
+	a.quiesced = true
+	a.mu.Unlock()
+	c.Poke()
+	if o := <-captured; o != Released {
+		t.Fatalf("outcome %v", o)
+	}
+}
+
+func TestCoordinatorVerifyFailureSurfaces(t *testing.T) {
+	c, a, _ := newStubCoordinator(1, ContinueAfterCapture)
+	a.mu.Lock()
+	a.verifyErr = errors.New("boom")
+	a.mu.Unlock()
+	c.RequestCheckpoint(0)
+	c.ParkUntil(0, &Descriptor{Kind: ParkBoundary}, func() Decision { return Stay })
+	if _, _, err := c.Result(); err == nil {
+		t.Fatal("safe-state violation not surfaced")
+	}
+}
+
+func TestCoordinatorDoneRanksCountAsParked(t *testing.T) {
+	c, _, _ := newStubCoordinator(2, ContinueAfterCapture)
+	c.FinishRank(1) // rank 1 finished before the request
+	c.RequestCheckpoint(0)
+	o := c.ParkUntil(0, &Descriptor{Kind: ParkBoundary}, func() Decision { return Stay })
+	if o != Released {
+		t.Fatalf("outcome %v", o)
+	}
+	img, _, _ := c.Result()
+	if img.Images[1].Desc.Kind != ParkDone {
+		t.Fatalf("finished rank recorded as %v", img.Images[1].Desc.Kind)
+	}
+}

@@ -1,0 +1,39 @@
+// Package core implements the paper's primary contribution: the
+// collective-clock (CC) algorithm for transparent checkpointing of MPI
+// (paper §4). Per MPI group (identified by a global group id, ggid), each
+// rank keeps a local sequence number SEQ[ggid], incremented at every
+// collective call on that group — blocking calls when executed, non-blocking
+// calls at initiation (§4.3.1). No network traffic is needed during normal
+// execution, which is why CC's runtime overhead is near zero where the old
+// 2PC algorithm paid an inserted barrier per collective.
+//
+// At checkpoint time, targets TARGET[ggid] = max over members of SEQ[ggid]
+// are installed (Algorithm 1); each rank continues executing — a distributed
+// topological sort of the collective-call DAG — until SEQ==TARGET for every
+// group it belongs to (Condition A′). A rank that overshoots a target bumps
+// it and notifies the group's other members with MPI_Isend messages on a
+// hidden communicator (Algorithm 2); ranks waiting at targets pick updates
+// up with MPI_Iprobe/MPI_Recv (Algorithm 3, Wait_for_new_targets). At the
+// safe state, incomplete non-blocking collectives are drained with a test
+// loop — every participant is guaranteed to have initiated them (§4.3.2).
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// GgidOf computes the global group id of a set of world ranks: an FNV-1a
+// hash over the sorted member list. Communicator handles are local resources
+// (paper §4.1), so a global identity must be derived from the membership;
+// hashing the sorted world ranks makes MPI_SIMILAR groups — same members in
+// any order — share a ggid by construction.
+func GgidOf(sortedWorldRanks []int) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, r := range sortedWorldRanks {
+		binary.LittleEndian.PutUint64(b[:], uint64(r))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,263 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyOptions shrinks every experiment so the whole suite runs in seconds.
+func tinyOptions() Options {
+	o := DefaultOptions()
+	o.Scale = 0.002
+	o.OSUIters = 40
+	o.MaxProcs = 128
+	o.PPN = 32 // 128 procs = 4 nodes, preserving inter-node geometry
+	return o
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Notes:  []string{"n1"},
+	}
+	tb.AddRow("x", "yyyy")
+	out := tb.Render()
+	for _, want := range []string{"T\n=", "a", "yyyy", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") || !strings.Contains(csv, "x,yyyy") {
+		t.Errorf("csv wrong:\n%s", csv)
+	}
+	tb.AddRow(`qu"ote`, "with,comma")
+	csv = tb.CSV()
+	if !strings.Contains(csv, `"qu""ote"`) || !strings.Contains(csv, `"with,comma"`) {
+		t.Errorf("csv escaping wrong:\n%s", csv)
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage %q", s)
+	}
+	return v
+}
+
+func TestFig5aShape(t *testing.T) {
+	o := tinyOptions()
+	tb, err := Fig5a(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	var ccMax, bcast2pcMin float64
+	bcast2pcMin = 1e9
+	for _, row := range tb.Rows {
+		twoPC := parsePct(t, row[3])
+		cc := parsePct(t, row[4])
+		if cc > ccMax {
+			ccMax = cc
+		}
+		if row[0] == "Bcast" && row[1] == "4B" && twoPC < bcast2pcMin {
+			bcast2pcMin = twoPC
+		}
+		// The paper's headline: CC must never exceed 2PC materially.
+		if cc > twoPC+2 {
+			t.Errorf("%v: CC (%.1f%%) worse than 2PC (%.1f%%)", row[:3], cc, twoPC)
+		}
+	}
+	if ccMax > 10 {
+		t.Errorf("CC blocking overhead reached %.1f%%; paper band is ~0-5%%", ccMax)
+	}
+	if bcast2pcMin < 50 {
+		t.Errorf("2PC small-Bcast overhead %.1f%%; paper shows it in the hundreds", bcast2pcMin)
+	}
+}
+
+func TestFig5bShape(t *testing.T) {
+	tb, err := Fig5b(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		cc := parsePct(t, row[3])
+		if cc > 60 {
+			t.Errorf("%v: non-blocking CC overhead %.1f%% beyond the paper's worst case (~50%%)", row[:3], cc)
+		}
+	}
+	// Overhead shrinks with message size for each (kind, procs) pair.
+	small := map[string]float64{}
+	big := map[string]float64{}
+	for _, row := range tb.Rows {
+		key := row[0] + "/" + row[2]
+		switch row[1] {
+		case "4B":
+			small[key] = parsePct(t, row[3])
+		case "1MB":
+			big[key] = parsePct(t, row[3])
+		}
+	}
+	for key, s := range small {
+		if b, ok := big[key]; ok && b > s+2 {
+			t.Errorf("%s: 1MB overhead (%.1f%%) exceeds 4B (%.1f%%)", key, b, s)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tb, err := Fig6(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		nat := parsePct(t, row[3])
+		cc := parsePct(t, row[4])
+		// CC must retain most of the native overlap (paper: comparable).
+		if nat > 30 && cc < nat-30 {
+			t.Errorf("%v: CC overlap %.1f%% collapsed vs native %.1f%%", row[:3], cc, nat)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	o := tinyOptions()
+	tb, err := Table1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("expected 6 rows, got %d", len(tb.Rows))
+	}
+	parse := func(s string) float64 {
+		v, _ := strconv.ParseFloat(s, 64)
+		return v
+	}
+	// Rate ordering down the table (paper's ordering).
+	var prev float64 = 1e18
+	for _, row := range tb.Rows {
+		r := parse(row[1])
+		if r <= 0 {
+			t.Errorf("%s: no collective rate", row[0])
+		}
+		if r > prev {
+			t.Errorf("%s: rate %.1f out of order (prev %.1f)", row[0], r, prev)
+		}
+		prev = r
+	}
+	// Poisson's p2p column must be NA.
+	for _, row := range tb.Rows {
+		if row[0] == "poisson" && row[2] != "NA" {
+			t.Errorf("poisson p2p should be NA, got %s", row[2])
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	o := tinyOptions()
+	tb, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("expected 5 rows, got %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[0] == "poisson" {
+			if row[2] != "NA" || row[4] != "NA" {
+				t.Errorf("poisson must be NA under 2PC: %v", row)
+			}
+			continue
+		}
+		twoPC := parsePct(t, row[4])
+		cc := parsePct(t, row[5])
+		if cc > twoPC+2 {
+			t.Errorf("%s: CC (%.1f%%) worse than 2PC (%.1f%%)", row[0], cc, twoPC)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tb, err := Fig8(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tb.Rows {
+		twoPC := parsePct(t, row[2])
+		cc := parsePct(t, row[3])
+		if cc > twoPC+2 {
+			t.Errorf("procs %s: CC (%.1f%%) worse than 2PC (%.1f%%)", row[0], cc, twoPC)
+		}
+		if cc > 15 {
+			t.Errorf("procs %s: CC overhead %.1f%% outside the paper band (2-5%%)", row[0], cc)
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	o := tinyOptions()
+	o.MaxProcs = 128
+	o.PPN = 32
+	tb, err := Fig9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 2 {
+		t.Fatalf("expected at least one node count x two algorithms, got %d rows", len(tb.Rows))
+	}
+	parse := func(s string) float64 {
+		v, _ := strconv.ParseFloat(s, 64)
+		return v
+	}
+	var prevWrite float64
+	for i := 0; i+1 < len(tb.Rows); i += 2 {
+		w2pc := parse(tb.Rows[i][4])
+		wcc := parse(tb.Rows[i+1][4])
+		// 2PC and CC checkpoint I/O must be nearly identical.
+		if diff := w2pc - wcc; diff > 0.05*w2pc || diff < -0.05*w2pc {
+			t.Errorf("nodes %s: write times differ: %g vs %g", tb.Rows[i][0], w2pc, wcc)
+		}
+		if wcc < prevWrite {
+			t.Errorf("write time should grow with node count: %g after %g", wcc, prevWrite)
+		}
+		prevWrite = wcc
+		restart := parse(tb.Rows[i][5])
+		if restart <= parse(tb.Rows[i][4]) {
+			t.Errorf("restart must include relaunch cost beyond the read")
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	o := tinyOptions()
+	for _, name := range []string{"drain", "barrier", "network", "pollinterval"} {
+		tb, err := Experiments[name](o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: empty", name)
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	if len(Order) != len(Experiments) {
+		t.Fatalf("order (%d) and registry (%d) out of sync", len(Order), len(Experiments))
+	}
+	for _, id := range Order {
+		if Experiments[id] == nil {
+			t.Fatalf("experiment %q missing", id)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+
+	"mana/internal/apps"
+	"mana/internal/rt"
+)
+
+// P2PMicrobench is a supplementary experiment (not in the paper's figures):
+// OSU-style point-to-point latency and bandwidth, intra- and inter-node,
+// under each algorithm. It verifies that neither checkpointing algorithm
+// perturbs the point-to-point path materially — the paper's algorithms
+// interpose on collectives; p2p pays only the wrapper constant.
+func P2PMicrobench(o Options) (*Table, error) {
+	t := &Table{
+		Title:  "Supplement: OSU point-to-point latency/bandwidth under interposition",
+		Header: []string{"benchmark", "path", "native", "2PC overhead", "CC overhead"},
+		Notes: []string{
+			"latency in us/rtt, bandwidth windows in us/window; p2p is wrapped but",
+			"never barriered, so both algorithms sit within the wrapper constant",
+		},
+	}
+	const ranks = 256 // two nodes at PPN 128
+	run := func(algo string, cfg apps.OSUP2PConfig) (float64, error) {
+		rep, err := rt.Run(o.config(ranks, algo), func(int) rt.App { return apps.NewOSUP2P(cfg) })
+		if err != nil {
+			return 0, err
+		}
+		return rep.RuntimeVT, nil
+	}
+	cases := []struct {
+		name string
+		path string
+		cfg  apps.OSUP2PConfig
+	}{
+		{"latency 8B", "intra-node", apps.OSUP2PConfig{Size: 8, Iterations: o.OSUIters, Peer: 1}},
+		{"latency 8B", "inter-node", apps.OSUP2PConfig{Size: 8, Iterations: o.OSUIters, Peer: o.PPN}},
+		{"latency 64KB", "inter-node", apps.OSUP2PConfig{Size: 64 << 10, Iterations: o.OSUIters, Peer: o.PPN}},
+		{"bw 64KBx64", "inter-node", apps.OSUP2PConfig{Bandwidth: true, Size: 64 << 10, Window: 64, Iterations: o.OSUIters / 4, Peer: o.PPN}},
+	}
+	for _, c := range cases {
+		native, err := run(rt.AlgoNative, c.cfg)
+		if err != nil {
+			return nil, err
+		}
+		twoPC, err := run(rt.Algo2PC, c.cfg)
+		if err != nil {
+			return nil, err
+		}
+		cc, err := run(rt.AlgoCC, c.cfg)
+		if err != nil {
+			return nil, err
+		}
+		iters := c.cfg.Iterations
+		perIter := native / float64(iters) * 1e6
+		t.AddRow(c.name, c.path, fmt.Sprintf("%.2fus", perIter),
+			pct(overhead(twoPC, native)), pct(overhead(cc, native)))
+	}
+	return t, nil
+}

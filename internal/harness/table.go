@@ -1,0 +1,97 @@
+// Package harness regenerates the paper's evaluation (§5): Table 1 and
+// Figures 5-9, plus the ablation studies called out in DESIGN.md. Each
+// experiment returns a Table that renders as aligned text (the repo's
+// analog of the paper's plots) and as CSV for external plotting.
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render returns the aligned-text form.
+func (t *Table) Render() string {
+	var b strings.Builder
+	b.WriteString(t.Title + "\n")
+	b.WriteString(strings.Repeat("=", len(t.Title)) + "\n")
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: " + n + "\n")
+	}
+	return b.String()
+}
+
+// CSV returns the comma-separated form.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// pct formats an overhead ratio as a percentage string.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// overhead computes (t - base) / base.
+func overhead(t, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (t - base) / base
+}

@@ -1,0 +1,35 @@
+package mpi
+
+// Clock is a per-rank virtual clock. All simulator costs are charged to
+// these clocks; wall-clock time never enters the model, which keeps runs
+// deterministic and lets a laptop simulate thousands of ranks.
+//
+// A Clock is owned by its rank's goroutine. Other goroutines may read it
+// only through the owning rank's published times (slot entries, message
+// timestamps), never directly.
+type Clock struct {
+	t float64
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.t }
+
+// Advance adds d seconds of local activity (compute or CPU overhead).
+// Negative advances are ignored.
+func (c *Clock) Advance(d float64) {
+	if d > 0 {
+		c.t += d
+	}
+}
+
+// SyncTo moves the clock forward to at least t (waiting for an event that
+// completed at time t). It never moves the clock backward.
+func (c *Clock) SyncTo(t float64) {
+	if t > c.t {
+		c.t = t
+	}
+}
+
+// Set forces the clock to an absolute time; used only by checkpoint/restart
+// when re-synchronizing all ranks at a capture or restore point.
+func (c *Clock) Set(t float64) { c.t = t }

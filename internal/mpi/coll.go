@@ -1,0 +1,408 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"mana/internal/netmodel"
+)
+
+// collSlot is the shared rendezvous object for one collective operation
+// instance: the seq-th collective on a communicator. Member ranks register
+// their entry times and payloads; exit times and results are derived from
+// the netmodel according to the collective's semantics.
+type collSlot struct {
+	core *commCore
+	seq  uint64
+	spec netmodel.CollSpec
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	entries  []float64 // entry (initiation) virtual time per comm rank, -1 until seen
+	datas    [][]byte  // contributed payloads per comm rank
+	arrived  int
+	full     bool
+	nb       bool // non-blocking instance (uniform completion rule)
+	nbExits  []float64
+	results  [][]byte // per-rank results, computed when data is available
+	nFetched int
+}
+
+// slotFor returns (creating if needed) the slot for the seq-th collective on
+// the communicator, validating that all ranks agree on kind/size/root.
+func (c *Comm) slotFor(seq uint64, spec netmodel.CollSpec, nb bool) *collSlot {
+	core := c.core
+	core.mu.Lock()
+	defer core.mu.Unlock()
+	if s, ok := core.slots[seq]; ok {
+		if s.spec.Kind != spec.Kind {
+			panic(fmt.Sprintf("mpi: collective mismatch on comm %d seq %d: %v vs %v (erroneous program)",
+				core.id, seq, s.spec.Kind, spec.Kind))
+		}
+		return s
+	}
+	n := core.group.Size()
+	s := &collSlot{core: core, seq: seq, spec: spec, nb: nb}
+	s.cond = sync.NewCond(&s.mu)
+	s.entries = make([]float64, n)
+	for i := range s.entries {
+		s.entries[i] = -1
+	}
+	s.datas = make([][]byte, n)
+	s.results = make([][]byte, n)
+	core.slots[seq] = s
+	return s
+}
+
+// register records rank i's entry (or initiation) with its payload.
+func (s *collSlot) register(i int, vt float64, payload []byte) {
+	s.mu.Lock()
+	if s.entries[i] >= 0 {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("mpi: rank %d entered collective %v twice (comm %d seq %d)",
+			i, s.spec.Kind, s.core.id, s.seq))
+	}
+	s.entries[i] = vt
+	if payload != nil {
+		s.datas[i] = append([]byte(nil), payload...)
+	}
+	s.arrived++
+	if s.arrived == s.spec.Geom.N {
+		s.full = true
+	}
+	s.cond.Broadcast()
+	full, nb := s.full, s.nb
+	s.mu.Unlock()
+	if full && nb {
+		// Non-blocking instance just became completable: wake the members'
+		// mailboxes so any rank blocked in Wait re-evaluates its request.
+		for _, wr := range s.spec.WorldRanks {
+			s.core.w.Wake(wr)
+		}
+	}
+}
+
+// waitFull blocks until every member has entered.
+func (s *collSlot) waitFull() {
+	s.mu.Lock()
+	for !s.full {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// waitInitiated is waitFull under its request-facing name: a non-blocking
+// collective cannot complete until all participants initiated it.
+func (s *collSlot) waitInitiated() { s.waitFull() }
+
+// waitRootArrived blocks until the root's entry has been recorded.
+func (s *collSlot) waitRootArrived() float64 {
+	s.mu.Lock()
+	for s.entries[s.spec.Root] < 0 {
+		s.cond.Wait()
+	}
+	vt := s.entries[s.spec.Root]
+	s.mu.Unlock()
+	return vt
+}
+
+// completionFor reports the completion time of a non-blocking instance for
+// comm rank i, if determinable (i.e. all ranks have initiated).
+func (s *collSlot) completionFor(i int) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		return 0, false
+	}
+	if s.nbExits == nil {
+		s.nbExits = s.core.w.Model.CollExits(s.spec, s.entries)
+		s.computeResultsLocked()
+	}
+	return s.nbExits[i], true
+}
+
+// resultFor returns rank i's result payload (may be nil for barrier or
+// non-root ranks of rooted collectives). Caller must ensure data readiness:
+// for Bcast/Scatter the root must have arrived; otherwise the slot must be
+// full.
+func (s *collSlot) resultFor(i int) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Rooted distributions depend only on the root's payload, which lets
+	// receivers fetch results before stragglers arrive (non-synchronizing
+	// exit, paper §3).
+	switch s.spec.Kind {
+	case netmodel.Bcast:
+		return s.datas[s.spec.Root]
+	case netmodel.Scatter:
+		root := s.spec.Root
+		blk := len(s.datas[root]) / s.spec.Geom.N
+		return s.datas[root][i*blk : (i+1)*blk]
+	}
+	if s.results[i] == nil && s.full {
+		s.computeResultsLocked()
+	}
+	return s.results[i]
+}
+
+// fetched marks rank i done with the slot; the last fetch removes the slot
+// from the communicator's table.
+func (s *collSlot) fetched(i int) {
+	s.mu.Lock()
+	s.nFetched++
+	last := s.nFetched == s.spec.Geom.N
+	s.mu.Unlock()
+	if last {
+		s.core.mu.Lock()
+		delete(s.core.slots, s.seq)
+		s.core.mu.Unlock()
+	}
+}
+
+// computeResultsLocked fills s.results according to the collective's data
+// semantics. Requires s.mu held and, for fan-in/synchronizing kinds, s.full.
+func (s *collSlot) computeResultsLocked() {
+	n := s.spec.Geom.N
+	switch s.spec.Kind {
+	case netmodel.Barrier:
+		// no data
+	case netmodel.Bcast:
+		root := s.spec.Root
+		for i := 0; i < n; i++ {
+			s.results[i] = s.datas[root]
+		}
+	case netmodel.Scatter:
+		root := s.spec.Root
+		blk := len(s.datas[root]) / n
+		for i := 0; i < n; i++ {
+			s.results[i] = s.datas[root][i*blk : (i+1)*blk]
+		}
+	case netmodel.Reduce:
+		s.results[s.spec.Root] = reduceAll(Op(s.spec.ReduceOp), s.datas)
+	case netmodel.Allreduce:
+		red := reduceAll(Op(s.spec.ReduceOp), s.datas)
+		for i := 0; i < n; i++ {
+			s.results[i] = red
+		}
+	case netmodel.Gather:
+		s.results[s.spec.Root] = concat(s.datas)
+	case netmodel.Allgather:
+		all := concat(s.datas)
+		for i := 0; i < n; i++ {
+			s.results[i] = all
+		}
+	case netmodel.Alltoall:
+		blk := len(s.datas[0]) / n
+		for i := 0; i < n; i++ {
+			out := make([]byte, 0, blk*n)
+			for j := 0; j < n; j++ {
+				out = append(out, s.datas[j][i*blk:(i+1)*blk]...)
+			}
+			s.results[i] = out
+		}
+	case netmodel.Scan:
+		op := Op(s.spec.ReduceOp)
+		acc := append([]byte(nil), s.datas[0]...)
+		s.results[0] = append([]byte(nil), acc...)
+		for i := 1; i < n; i++ {
+			applyOp(op, acc, s.datas[i])
+			s.results[i] = append([]byte(nil), acc...)
+		}
+	case netmodel.ReduceScatter:
+		red := reduceAll(Op(s.spec.ReduceOp), s.datas)
+		blk := len(red) / n
+		for i := 0; i < n; i++ {
+			s.results[i] = red[i*blk : (i+1)*blk]
+		}
+	}
+}
+
+// enter registers the caller in the seq-th collective and returns the slot.
+func (c *Comm) enter(kind netmodel.CollKind, size int, root int, op Op, payload []byte, nb bool) *collSlot {
+	spec := netmodel.CollSpec{
+		Kind:       kind,
+		Size:       size,
+		Root:       root,
+		Geom:       c.core.geom,
+		WorldRanks: c.core.group.WorldRanks(),
+		ReduceOp:   int(op),
+	}
+	seq := c.collSeq
+	c.collSeq++
+	s := c.slotFor(seq, spec, nb)
+	c.p.Ct.Collective(kind, size, nb)
+	c.p.Clk.Advance(c.p.w.Model.P.CallOverhead)
+	s.register(c.myRank, c.p.Clk.Now(), payload)
+	return s
+}
+
+// blockingExit waits as required by the collective's semantics (root
+// arrival for rooted distributions, full membership for synchronizing and
+// fan-in roots) and returns the caller's exit time.
+func (c *Comm) blockingExit(s *collSlot) float64 {
+	model := c.p.w.Model
+	i := c.myRank
+	switch s.spec.Kind {
+	case netmodel.Bcast, netmodel.Scatter:
+		if i == s.spec.Root {
+			return model.RootedRootExit(s.spec, s.entryOf(i))
+		}
+		rootEntry := s.waitRootArrived()
+		return model.RootedRecvExit(s.spec, s.entryOf(i), rootEntry, i)
+	case netmodel.Reduce, netmodel.Gather:
+		if i == s.spec.Root {
+			s.waitFull()
+			return model.FanInRootExit(s.spec, s.snapshotEntries())
+		}
+		return model.FanInLeafExit(s.spec, s.entryOf(i), i)
+	default: // synchronizing
+		s.waitFull()
+		return model.SyncExit(s.spec, s.snapshotEntries())
+	}
+}
+
+// finishBlocking applies the per-kind blocking exit rule and returns the
+// caller's result payload.
+func (c *Comm) finishBlocking(s *collSlot) []byte {
+	i := c.myRank
+	c.p.Clk.SyncTo(c.blockingExit(s))
+
+	var res []byte
+	switch s.spec.Kind {
+	case netmodel.Barrier:
+	case netmodel.Reduce, netmodel.Gather:
+		if i == s.spec.Root {
+			res = s.resultFor(i)
+		}
+	default:
+		res = s.resultFor(i)
+	}
+	s.fetched(i)
+	return res
+}
+
+func (s *collSlot) entryOf(i int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entries[i]
+}
+
+func (s *collSlot) snapshotEntries() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, len(s.entries))
+	copy(out, s.entries)
+	return out
+}
+
+func concat(datas [][]byte) []byte {
+	var total int
+	for _, d := range datas {
+		total += len(d)
+	}
+	out := make([]byte, 0, total)
+	for _, d := range datas {
+		out = append(out, d...)
+	}
+	return out
+}
+
+// Barrier implements MPI_Barrier.
+func (c *Comm) Barrier() {
+	s := c.enter(netmodel.Barrier, 0, 0, OpSum, nil, false)
+	c.finishBlocking(s)
+}
+
+// Bcast implements MPI_Bcast: the root's buf is sent to all; on non-roots
+// buf is overwritten with the root's data. Returns the received data length.
+func (c *Comm) Bcast(root int, buf []byte) int {
+	var payload []byte
+	if c.myRank == root {
+		payload = buf
+	}
+	s := c.enter(netmodel.Bcast, len(buf), root, OpSum, payload, false)
+	res := c.finishBlocking(s)
+	if c.myRank != root {
+		return copy(buf, res)
+	}
+	return len(buf)
+}
+
+// Reduce implements MPI_Reduce; the reduced vector is returned at the root
+// (nil elsewhere). Payloads are little-endian float64 vectors.
+func (c *Comm) Reduce(root int, op Op, data []byte) []byte {
+	s := c.enter(netmodel.Reduce, len(data), root, op, data, false)
+	res := c.finishBlocking(s)
+	if c.myRank == root {
+		return append([]byte(nil), res...)
+	}
+	return nil
+}
+
+// Allreduce implements MPI_Allreduce.
+func (c *Comm) Allreduce(op Op, data []byte) []byte {
+	s := c.enter(netmodel.Allreduce, len(data), 0, op, data, false)
+	return append([]byte(nil), c.finishBlocking(s)...)
+}
+
+// Gather implements MPI_Gather: the root receives the concatenation of all
+// contributions in comm-rank order (nil elsewhere).
+func (c *Comm) Gather(root int, data []byte) []byte {
+	s := c.enter(netmodel.Gather, len(data), root, OpSum, data, false)
+	res := c.finishBlocking(s)
+	if c.myRank == root {
+		return append([]byte(nil), res...)
+	}
+	return nil
+}
+
+// Allgather implements MPI_Allgather.
+func (c *Comm) Allgather(data []byte) []byte {
+	s := c.enter(netmodel.Allgather, len(data), 0, OpSum, data, false)
+	return append([]byte(nil), c.finishBlocking(s)...)
+}
+
+// Alltoall implements MPI_Alltoall: data must contain Size() equal blocks;
+// block j goes to comm rank j; the result contains one block from each rank.
+func (c *Comm) Alltoall(data []byte) []byte {
+	n := c.Size()
+	if len(data)%n != 0 {
+		panic(fmt.Sprintf("mpi: Alltoall payload %d not divisible by comm size %d", len(data), n))
+	}
+	s := c.enter(netmodel.Alltoall, len(data)/n, 0, OpSum, data, false)
+	return append([]byte(nil), c.finishBlocking(s)...)
+}
+
+// Scatter implements MPI_Scatter: the root's data (Size() equal blocks) is
+// distributed; every rank receives its block.
+func (c *Comm) Scatter(root int, data []byte) []byte {
+	size := 0
+	var payload []byte
+	if c.myRank == root {
+		n := c.Size()
+		if len(data)%n != 0 {
+			panic(fmt.Sprintf("mpi: Scatter payload %d not divisible by comm size %d", len(data), n))
+		}
+		size = len(data) / n
+		payload = data
+	}
+	s := c.enter(netmodel.Scatter, size, root, OpSum, payload, false)
+	return append([]byte(nil), c.finishBlocking(s)...)
+}
+
+// Scan implements MPI_Scan (inclusive prefix reduction).
+func (c *Comm) Scan(op Op, data []byte) []byte {
+	s := c.enter(netmodel.Scan, len(data), 0, op, data, false)
+	return append([]byte(nil), c.finishBlocking(s)...)
+}
+
+// ReduceScatter implements MPI_Reduce_scatter_block: reduce all
+// contributions, then scatter equal blocks.
+func (c *Comm) ReduceScatter(op Op, data []byte) []byte {
+	n := c.Size()
+	if len(data)%n != 0 {
+		panic(fmt.Sprintf("mpi: ReduceScatter payload %d not divisible by comm size %d", len(data), n))
+	}
+	s := c.enter(netmodel.ReduceScatter, len(data)/n, 0, op, data, false)
+	return append([]byte(nil), c.finishBlocking(s)...)
+}

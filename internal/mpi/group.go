@@ -1,0 +1,65 @@
+package mpi
+
+import "sort"
+
+// Group is an ordered set of world ranks, mirroring MPI_Group. The position
+// of a world rank in the slice is its rank within the group.
+type Group struct {
+	ranks []int // world ranks in group-rank order
+}
+
+// NewGroup builds a group from world ranks in the given order. The caller
+// must not mutate the slice afterwards.
+func NewGroup(worldRanks []int) *Group {
+	return &Group{ranks: worldRanks}
+}
+
+// Size returns the number of members.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// WorldRank returns the world rank of group rank i.
+func (g *Group) WorldRank(i int) int { return g.ranks[i] }
+
+// WorldRanks returns the members in group-rank order. Callers must treat the
+// result as read-only.
+func (g *Group) WorldRanks() []int { return g.ranks }
+
+// RankOf returns the group rank of the given world rank, or -1 if the world
+// rank is not a member. This is MPI_Group_translate_ranks against
+// MPI_COMM_WORLD — a purely local operation (paper §4.2.4 relies on this).
+func (g *Group) RankOf(worldRank int) int {
+	for i, r := range g.ranks {
+		if r == worldRank {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the world rank is a member.
+func (g *Group) Contains(worldRank int) bool { return g.RankOf(worldRank) >= 0 }
+
+// SortedWorldRanks returns the members sorted ascending. Two groups that are
+// MPI_SIMILAR (same members, any order) have equal sorted slices; the
+// collective-clock ggid is computed from this canonical form.
+func (g *Group) SortedWorldRanks() []int {
+	s := make([]int, len(g.ranks))
+	copy(s, g.ranks)
+	sort.Ints(s)
+	return s
+}
+
+// Similar reports whether two groups contain the same set of world ranks
+// (MPI_SIMILAR). Identical order is not required.
+func Similar(a, b *Group) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	as, bs := a.SortedWorldRanks(), b.SortedWorldRanks()
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

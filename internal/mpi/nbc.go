@@ -1,0 +1,83 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mana/internal/netmodel"
+)
+
+// Non-blocking collectives. Initiation registers the rank in the slot and
+// returns immediately with a Request; the operation "progresses in the
+// background" and completes — per rank, at the netmodel-computed time — once
+// every participant has initiated it. After that point completion is
+// independent of any other MPI activity (MPI-4.0 Example 6.36; paper §3's
+// second key point). Results are copied into the out buffer when the request
+// completes via Test or Wait.
+
+// istart initiates a non-blocking collective and returns its request.
+func (c *Comm) istart(kind netmodel.CollKind, size, root int, op Op, payload, out []byte) *Request {
+	s := c.enter(kind, size, root, op, payload, true)
+	r := newRequest(reqColl, c.p)
+	r.slot = s
+	r.slotRank = c.myRank
+	r.buf = out
+	return r
+}
+
+// collDone completion hook: copy the slot result into the caller's buffer.
+// Called exactly once, from Request.collDone.
+func (r *Request) collectResult() {
+	if r.buf == nil {
+		return
+	}
+	res := r.slot.resultFor(r.slotRank)
+	copy(r.buf, res)
+}
+
+// Ibarrier implements MPI_Ibarrier. (This is also the building block the
+// 2PC algorithm inserts before every collective.)
+func (c *Comm) Ibarrier() *Request {
+	return c.istart(netmodel.Barrier, 0, 0, OpSum, nil, nil)
+}
+
+// Ibcast implements MPI_Ibcast: on the root, buf supplies the payload; on
+// other ranks buf receives it at completion.
+func (c *Comm) Ibcast(root int, buf []byte) *Request {
+	var payload []byte
+	out := buf
+	if c.myRank == root {
+		payload = buf
+		out = nil
+	}
+	return c.istart(netmodel.Bcast, len(buf), root, OpSum, payload, out)
+}
+
+// Iallreduce implements MPI_Iallreduce; out receives the reduced vector and
+// must be at least as long as data.
+func (c *Comm) Iallreduce(op Op, data, out []byte) *Request {
+	return c.istart(netmodel.Allreduce, len(data), 0, op, data, out)
+}
+
+// Iallgather implements MPI_Iallgather; out must hold Size()*len(data).
+func (c *Comm) Iallgather(data, out []byte) *Request {
+	return c.istart(netmodel.Allgather, len(data), 0, OpSum, data, out)
+}
+
+// Ialltoall implements MPI_Ialltoall; data holds Size() equal blocks and out
+// must be the same length.
+func (c *Comm) Ialltoall(data, out []byte) *Request {
+	n := c.Size()
+	if len(data)%n != 0 {
+		panic(fmt.Sprintf("mpi: Ialltoall payload %d not divisible by comm size %d", len(data), n))
+	}
+	return c.istart(netmodel.Alltoall, len(data)/n, 0, OpSum, data, out)
+}
+
+// Ireduce implements MPI_Ireduce; out receives the result on the root.
+func (c *Comm) Ireduce(root int, op Op, data, out []byte) *Request {
+	dst := out
+	if c.myRank != root {
+		dst = nil
+	}
+	return c.istart(netmodel.Reduce, len(data), root, op, data, dst)
+}

@@ -1,0 +1,302 @@
+package mpi
+
+import "sync"
+
+// message is one point-to-point message in flight or queued unexpected.
+type message struct {
+	srcWorld int // world rank of sender
+	srcComm  int // comm rank of sender
+	commID   uint64
+	tag      int
+	data     []byte
+	arriveVT float64 // virtual time the message reaches the receiver
+}
+
+// postedRecv is a receive posted before its message arrived.
+type postedRecv struct {
+	commID uint64
+	src    int // comm rank or AnySource
+	tag    int // or AnyTag
+	buf    []byte
+	req    *Request
+}
+
+// mailbox holds one rank's unexpected-message queue and posted receives.
+// Senders lock the destination mailbox; the owning rank locks it to post
+// receives and to park in WaitUntil.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*message    // unexpected messages, arrival order (FIFO per sender)
+	posted []*postedRecv // receives awaiting a match, post order
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// matches reports whether a message satisfies a (src, tag, comm) pattern.
+func matches(m *message, commID uint64, src, tag int) bool {
+	if m.commID != commID {
+		return false
+	}
+	if src != AnySource && m.srcComm != src {
+		return false
+	}
+	if tag != AnyTag && m.tag != tag {
+		return false
+	}
+	return true
+}
+
+// Send implements MPI_Send in buffered mode: the sender never blocks on the
+// receiver (MANA's p2p drain assumes sends buffer, and the paper's
+// algorithms never rely on send-side blocking). The cost model does switch
+// at the eager threshold, as real MPI does: small messages pay only the
+// local copy into the eager buffer, while large messages pay their full
+// network serialization at the sender (the rendezvous pipeline keeps the
+// sender busy for size/bandwidth even though matching is asynchronous here).
+func (c *Comm) Send(dst, tag int, data []byte) {
+	p := c.p
+	model := p.w.Model
+	size := len(data)
+	p.Ct.P2PSends++
+	p.Ct.BytesSent += int64(size)
+
+	dstWorld := c.WorldRank(dst)
+	var cost float64
+	if size <= model.P.EagerThreshold {
+		cost = model.P.SendOverhead + float64(size)/model.P.BwIntra // eager copy
+	} else {
+		bw := model.P.BwIntra
+		if !model.SameNode(p.rank, dstWorld) {
+			bw = model.P.BwInter
+		}
+		cost = model.P.SendOverhead + float64(size)/bw // rendezvous serialization
+	}
+	p.Clk.Advance(cost)
+	arrive := p.Clk.Now() + model.P2PCost(p.rank, dstWorld, size)
+
+	msg := &message{
+		srcWorld: p.rank,
+		srcComm:  c.myRank,
+		commID:   c.core.id,
+		tag:      tag,
+		data:     append([]byte(nil), data...),
+		arriveVT: arrive,
+	}
+	c.deliver(dstWorld, msg)
+}
+
+// Isend implements MPI_Isend. With eager sends the request completes
+// immediately; it exists so applications can use a uniform request style.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	r := newRequest(reqSend, c.p)
+	c.Send(dst, tag, data)
+	r.complete(c.p.Clk.Now(), Status{Source: c.myRank, Tag: tag, Count: len(data)})
+	return r
+}
+
+// deliver places msg in the destination mailbox, matching a posted receive
+// if one fits (first posted wins, preserving non-overtaking order).
+func (c *Comm) deliver(dstWorld int, msg *message) {
+	mb := c.p.w.mail[dstWorld]
+	mb.mu.Lock()
+	for i, pr := range mb.posted {
+		if matches(msg, pr.commID, pr.src, pr.tag) {
+			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
+			mb.mu.Unlock()
+			completeRecv(pr, msg)
+			mb.mu.Lock()
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+			return
+		}
+	}
+	mb.queue = append(mb.queue, msg)
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// completeRecv copies the payload and completes the receive request. The
+// receive completes, in virtual time, when the message arrives; the
+// receiver's RecvOverhead is charged by the waiter when it synchronizes.
+func completeRecv(pr *postedRecv, msg *message) {
+	n := copy(pr.buf, msg.data)
+	pr.req.complete(msg.arriveVT, Status{Source: msg.srcComm, Tag: msg.tag, Count: n})
+}
+
+// Irecv implements MPI_Irecv: post a receive for (src, tag) into buf. src
+// may be AnySource and tag may be AnyTag. If a matching unexpected message
+// is already queued, the request completes immediately.
+func (c *Comm) Irecv(src, tag int, buf []byte) *Request {
+	p := c.p
+	p.Ct.P2PRecvs++
+	p.Clk.Advance(p.w.Model.P.CallOverhead)
+
+	req := newRequest(reqRecv, p)
+	pr := &postedRecv{commID: c.core.id, src: src, tag: tag, buf: buf, req: req}
+
+	mb := p.w.mail[p.rank]
+	mb.mu.Lock()
+	for i, msg := range mb.queue {
+		if matches(msg, pr.commID, src, tag) {
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			mb.mu.Unlock()
+			completeRecv(pr, msg)
+			p.Ct.BytesRecv += int64(len(msg.data))
+			return req
+		}
+	}
+	mb.posted = append(mb.posted, pr)
+	mb.mu.Unlock()
+	return req
+}
+
+// Recv implements MPI_Recv: a posted receive followed by a wait. The
+// receiver's clock advances to the message arrival time plus its retire
+// cost.
+func (c *Comm) Recv(src, tag int, buf []byte) Status {
+	req := c.Irecv(src, tag, buf)
+	st := req.Wait()
+	c.p.Clk.Advance(c.p.w.Model.P.RecvOverhead)
+	c.p.Ct.BytesRecv += int64(st.Count)
+	return st
+}
+
+// Iprobe implements MPI_Iprobe: check, without receiving, whether a message
+// matching (src, tag) is queued. It reports the message's status if so. Only
+// messages that have arrived by the caller's current virtual time are
+// visible, mirroring a real network.
+func (c *Comm) Iprobe(src, tag int) (bool, Status) {
+	p := c.p
+	p.Ct.Probes++
+	p.Clk.Advance(p.w.Model.P.CallOverhead)
+	now := p.Clk.Now()
+
+	mb := p.w.mail[p.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for _, msg := range mb.queue {
+		if matches(msg, c.core.id, src, tag) && msg.arriveVT <= now {
+			return true, Status{Source: msg.srcComm, Tag: msg.tag, Count: len(msg.data)}
+		}
+	}
+	return false, Status{}
+}
+
+// HasQueued reports whether any message matching (src, tag) is queued for
+// this rank regardless of virtual arrival time. The checkpoint layer's
+// wait-for-targets loop uses it as a wakeup predicate under the mailbox
+// lock via Proc.WaitUntil; unlike Iprobe it charges no cost.
+func (c *Comm) HasQueued(src, tag int) bool {
+	mb := c.p.w.mail[c.p.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return c.hasQueuedLocked(src, tag)
+}
+
+func (c *Comm) hasQueuedLocked(src, tag int) bool {
+	for _, msg := range c.p.w.mail[c.p.rank].queue {
+		if matches(msg, c.core.id, src, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// QueuedLocked is like HasQueued but assumes the caller already holds the
+// rank's mailbox lock (i.e. it is running inside a WaitUntil predicate).
+func (c *Comm) QueuedLocked(src, tag int) bool { return c.hasQueuedLocked(src, tag) }
+
+// InflightSnapshot describes one undelivered message captured at checkpoint
+// time by the p2p drain.
+type InflightSnapshot struct {
+	CommID  uint64
+	SrcComm int
+	Tag     int
+	Data    []byte
+}
+
+// SnapshotInflight returns a copy of every queued (unreceived) message for
+// the given world rank without disturbing the queue. The checkpoint
+// coordinator calls this at capture time in checkpoint-and-continue mode:
+// the copies go into the image while the live messages remain deliverable.
+func (w *World) SnapshotInflight(rank int) []InflightSnapshot {
+	mb := w.mail[rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	out := make([]InflightSnapshot, 0, len(mb.queue))
+	for _, msg := range mb.queue {
+		out = append(out, InflightSnapshot{
+			CommID:  msg.commID,
+			SrcComm: msg.srcComm,
+			Tag:     msg.tag,
+			Data:    append([]byte(nil), msg.data...),
+		})
+	}
+	return out
+}
+
+// DrainInflight removes and returns every queued (unreceived) message for
+// the given world rank. The checkpoint coordinator calls this once all ranks
+// are parked: the messages become part of the receiver's upper-half image
+// and are re-injected at restart (MANA's send/recv-count drain).
+func (w *World) DrainInflight(rank int) []InflightSnapshot {
+	mb := w.mail[rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	out := make([]InflightSnapshot, 0, len(mb.queue))
+	for _, msg := range mb.queue {
+		out = append(out, InflightSnapshot{
+			CommID:  msg.commID,
+			SrcComm: msg.srcComm,
+			Tag:     msg.tag,
+			Data:    append([]byte(nil), msg.data...),
+		})
+	}
+	mb.queue = nil
+	return out
+}
+
+// InjectDrained re-queues messages captured by DrainInflight into a fresh
+// world at restart time. They become immediately available to receives.
+func (w *World) InjectDrained(rank int, msgs []InflightSnapshot, atVT float64) {
+	mb := w.mail[rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for _, s := range msgs {
+		mb.queue = append(mb.queue, &message{
+			srcWorld: -1,
+			srcComm:  s.SrcComm,
+			commID:   s.CommID,
+			tag:      s.Tag,
+			data:     append([]byte(nil), s.Data...),
+			arriveVT: atVT,
+		})
+	}
+	mb.cond.Broadcast()
+}
+
+// PendingPosted reports how many posted-but-unmatched receives the rank has;
+// the safe-state invariant checker uses it.
+func (w *World) PendingPosted(rank int) int {
+	mb := w.mail[rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.posted)
+}
+
+// CancelPosted removes all posted receives for a rank and returns how many
+// were cancelled. Used at capture time for receives that are recorded as
+// descriptors and re-posted after restart.
+func (w *World) CancelPosted(rank int) int {
+	mb := w.mail[rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	n := len(mb.posted)
+	mb.posted = nil
+	return n
+}

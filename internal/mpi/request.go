@@ -1,0 +1,171 @@
+package mpi
+
+import (
+	"math"
+	"sync"
+)
+
+// reqKind distinguishes the operation behind a Request.
+type reqKind int
+
+const (
+	reqSend reqKind = iota
+	reqRecv
+	reqColl
+)
+
+// Status describes a completed receive, mirroring MPI_Status.
+type Status struct {
+	Source int // comm rank of the sender
+	Tag    int
+	Count  int // bytes received
+}
+
+// Request is the handle of a non-blocking operation (MPI_Request). A request
+// is created by Isend/Irecv/I-collectives and completed by Test or Wait.
+type Request struct {
+	kind reqKind
+	p    *Proc
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	done       bool
+	completeVT float64
+	status     Status
+
+	// Receive plumbing: the destination buffer (filled at match time) and
+	// the match pattern for re-posting after restart.
+	buf []byte
+
+	// Collective plumbing.
+	slot     *collSlot
+	slotRank int // comm rank within the collective
+}
+
+func newRequest(kind reqKind, p *Proc) *Request {
+	r := &Request{kind: kind, p: p}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// complete marks the request done at virtual time vt with the given status.
+func (r *Request) complete(vt float64, st Status) {
+	r.mu.Lock()
+	r.done = true
+	r.completeVT = vt
+	r.status = st
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// Done reports (without charging any cost or blocking) whether the request
+// has completed. The checkpointing layer uses this for bookkeeping.
+func (r *Request) Done() bool {
+	if r == nil {
+		return true
+	}
+	if r.kind == reqColl {
+		return r.collDone()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done
+}
+
+// collDone resolves completion for collective requests against the slot.
+func (r *Request) collDone() bool {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		return true
+	}
+	r.mu.Unlock()
+
+	vt, ok := r.slot.completionFor(r.slotRank)
+	if !ok {
+		return false
+	}
+	r.collectResult()
+	r.complete(vt, Status{})
+	r.slot.fetched(r.slotRank)
+	return true
+}
+
+// Test implements MPI_Test: it charges one poll's CPU cost and reports
+// completion. On completion the caller's clock advances to the completion
+// time if that is later.
+func (r *Request) Test() bool {
+	r.p.Ct.Tests++
+	r.p.Clk.Advance(r.p.w.Model.P.CallOverhead)
+	if !r.Done() {
+		return false
+	}
+	r.mu.Lock()
+	vt := r.completeVT
+	r.mu.Unlock()
+	r.p.Clk.SyncTo(vt)
+	return true
+}
+
+// Wait implements MPI_Wait: it blocks (really, in the host program) until
+// the operation completes, then advances the caller's clock to the later of
+// its current time and the completion time. The virtual cost of waiting is
+// therefore the time actually waited for the event, as in real MPI.
+//
+// The block rides the owner's mailbox condition, so World.WakeAll (used by
+// the checkpoint coordinator) forces a re-evaluation; completion is detected
+// through Done, which resolves collective requests lazily.
+func (r *Request) Wait() Status {
+	r.p.Ct.Waits++
+	r.p.Clk.Advance(r.p.w.Model.P.CallOverhead)
+	r.p.WaitUntil(func() bool { return r.Done() })
+	r.mu.Lock()
+	vt, st := r.completeVT, r.status
+	r.mu.Unlock()
+	r.p.Clk.SyncTo(vt)
+	return st
+}
+
+// WaitPolling emulates a test loop ("while (!flag) MPI_Test(...)") without
+// burning host CPU: it blocks until completion, then charges the virtual
+// cost of the polls that the loop would have executed, rounding the caller's
+// clock up to the poll grid. Returns the number of simulated poll
+// iterations. The 2PC algorithm and the non-blocking drain use this.
+func (r *Request) WaitPolling() (polls int64) {
+	start := r.p.Clk.Now()
+	st := r.Wait()
+	_ = st
+	interval := r.p.w.Model.P.PollInterval
+	if interval <= 0 {
+		return 0
+	}
+	waited := r.p.Clk.Now() - start
+	if waited < 0 {
+		waited = 0
+	}
+	polls = int64(math.Ceil(waited/interval)) + 1
+	r.p.Ct.Tests += polls
+	r.p.Clk.SyncTo(start + float64(polls)*interval)
+	return polls
+}
+
+// Waitall waits for every request in order. Because Wait only moves clocks
+// forward to completion times, waiting in order is equivalent to MPI_Waitall
+// for timing purposes.
+func Waitall(reqs []*Request) []Status {
+	sts := make([]Status, len(reqs))
+	for i, r := range reqs {
+		if r != nil {
+			sts[i] = r.Wait()
+		}
+	}
+	return sts
+}
+
+// Status returns the completed request's status. Valid only after Wait/Test
+// reported completion.
+func (r *Request) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}

@@ -1,0 +1,56 @@
+package netmodel
+
+// Per-rank exit-time helpers. The simulator's collective slots use these to
+// let ranks leave a collective as soon as MPI semantics allow (paper §3):
+// a Bcast root does not wait for receivers, a Reduce leaf does not wait for
+// the root. CollExits (the batch form) is defined in terms of these, so the
+// two views cannot drift apart.
+
+// RootedRootExit returns when the root of a Bcast/Scatter may return: after
+// injecting its payload. The root does not wait for receivers, but it does
+// pay the bandwidth cost of pushing its data into the network — at large
+// message sizes this dominates and both checkpointing algorithms' overheads
+// vanish (paper §5.1.1: "in cases of large message size (1 MB), both
+// algorithms perform identically to the native application").
+func (m *Model) RootedRootExit(spec CollSpec, rootEntry float64) float64 {
+	inject := float64(spec.Size) / m.bwFor(spec.Geom)
+	return rootEntry + m.P.CollSoftCost + m.P.CallOverhead + m.P.SendOverhead + inject
+}
+
+// RootedRecvExit returns when comm rank i (a non-root) may return from a
+// Bcast/Scatter: once the data has reached it down the tree. Latency
+// accumulates per hop; the payload is pipelined, so the bandwidth term is
+// paid once.
+func (m *Model) RootedRecvExit(spec CollSpec, entry, rootEntry float64, i int) float64 {
+	d := depthOf(i, spec.Root, spec.Geom.N)
+	arrive := rootEntry + float64(d)*m.latFor(spec.Geom) + float64(spec.Size)/m.bwFor(spec.Geom)
+	return maxTwo(entry, arrive) + m.P.CollSoftCost + m.P.CallOverhead + m.P.RecvOverhead
+}
+
+// FanInLeafExit returns when a non-root rank may return from a Reduce/Gather:
+// after injecting its contribution and relaying its subtree.
+func (m *Model) FanInLeafExit(spec CollSpec, entry float64, i int) float64 {
+	n := spec.Geom.N
+	d := depthOf(i, spec.Root, n)
+	sub := float64(log2ceil(n)-d) * m.rankHop(spec, i)
+	if sub < 0 {
+		sub = 0
+	}
+	return entry + m.P.CollSoftCost + m.P.CallOverhead + m.P.SendOverhead + sub
+}
+
+// FanInRootExit returns when the root of a Reduce/Gather may return: after
+// the slowest contribution has climbed the tree (plus reduction compute for
+// Reduce).
+func (m *Model) FanInRootExit(spec CollSpec, entries []float64) float64 {
+	t := maxF(entries) + m.treeCost(spec.Geom, spec.Size)
+	if spec.Kind == Reduce {
+		t += float64(spec.Size) * m.P.ReducePerByte * float64(log2ceil(spec.Geom.N))
+	}
+	return t + m.P.CollSoftCost + m.P.CallOverhead
+}
+
+// SyncExit returns the common exit time of a synchronizing collective.
+func (m *Model) SyncExit(spec CollSpec, entries []float64) float64 {
+	return maxF(entries) + m.syncDuration(spec) + m.P.CollSoftCost + m.P.CallOverhead
+}

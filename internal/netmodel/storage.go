@@ -1,0 +1,23 @@
+package netmodel
+
+// CheckpointWriteTime models writing checkpoint images to the parallel
+// filesystem: nodes write concurrently, each capped at StorageNodeBW, with
+// the filesystem capped at StorageAggBW in aggregate, plus a fixed
+// metadata/open latency. totalBytes is the sum of all image sizes and nodes
+// is the number of writer nodes.
+func (m *Model) CheckpointWriteTime(totalBytes int64, nodes int) float64 {
+	if nodes <= 0 {
+		nodes = 1
+	}
+	bw := float64(nodes) * m.P.StorageNodeBW
+	if bw > m.P.StorageAggBW {
+		bw = m.P.StorageAggBW
+	}
+	return m.P.StorageLatency + float64(totalBytes)/bw
+}
+
+// RestartReadTime models restart: reading all images back plus the fixed
+// cost of launching a fresh lower half (MPI re-initialization).
+func (m *Model) RestartReadTime(totalBytes int64, nodes int) float64 {
+	return m.CheckpointWriteTime(totalBytes, nodes) + m.P.RestartFixed
+}

@@ -1,0 +1,461 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mana/internal/ckpt"
+	"mana/internal/core"
+	"mana/internal/mpi"
+	"mana/internal/netmodel"
+)
+
+// WorldVID is the virtual id of MPI_COMM_WORLD.
+const WorldVID = 0
+
+// errTerminated unwinds a rank goroutine after a checkpoint-and-exit
+// capture. It is recovered by the runner; applications never see it.
+var errTerminated = errors.New("rt: rank terminated by checkpoint")
+
+// Env is one rank's execution environment: the MPI-facing API applications
+// program against. Every call is interposed by the active checkpointing
+// protocol, exactly as MANA's wrapper stubs interpose on a real MPI library.
+type Env struct {
+	p     *mpi.Proc
+	proto ckpt.Protocol
+	coord *ckpt.Coordinator
+	app   App
+
+	comms   []*ckpt.CommInfo
+	reqs    map[int]*reqEntry
+	reqOrd  []int // ids in issue order (deterministic iteration)
+	nextReq int
+
+	inSetup         bool
+	enforceContract bool
+	blockingInStep  int
+}
+
+// reqEntry tracks one outstanding request.
+type reqEntry struct {
+	id   int
+	req  *mpi.Request
+	recv *ckpt.RecvDesc // re-post info for p2p receives
+}
+
+func newEnv(p *mpi.Proc, proto ckpt.Protocol, coord *ckpt.Coordinator, app App, enforce bool) *Env {
+	e := &Env{
+		p: p, proto: proto, coord: coord, app: app,
+		reqs:            make(map[int]*reqEntry),
+		enforceContract: enforce,
+	}
+	world := p.World().WorldComm(p.Rank())
+	e.comms = append(e.comms, commInfoOf(world, WorldVID))
+	proto.RegisterComm(e.comms[0])
+	return e
+}
+
+func commInfoOf(c *mpi.Comm, vid int) *ckpt.CommInfo {
+	members := c.Group().SortedWorldRanks()
+	return &ckpt.CommInfo{
+		Comm:    c,
+		Ggid:    core.GgidOf(members),
+		Members: members,
+		VID:     vid,
+	}
+}
+
+// Rank returns the caller's world rank.
+func (e *Env) Rank() int { return e.p.Rank() }
+
+// Size returns the world size.
+func (e *Env) Size() int { return e.p.World().N }
+
+// Now returns the rank's current virtual time in seconds.
+func (e *Env) Now() float64 { return e.p.Clk.Now() }
+
+// Compute models d seconds of application computation.
+func (e *Env) Compute(d float64) { e.p.Compute(d) }
+
+// comm resolves a virtual communicator id.
+func (e *Env) comm(vid int) *ckpt.CommInfo {
+	if vid < 0 || vid >= len(e.comms) || e.comms[vid] == nil {
+		panic(fmt.Sprintf("rt: rank %d: unknown communicator vid %d", e.p.Rank(), vid))
+	}
+	return e.comms[vid]
+}
+
+// CommRank returns the caller's rank within the communicator.
+func (e *Env) CommRank(vid int) int { return e.comm(vid).Comm.Rank() }
+
+// CommSize returns the communicator's size.
+func (e *Env) CommSize(vid int) int { return e.comm(vid).Comm.Size() }
+
+// Split creates a sub-communicator (MPI_Comm_split) and returns its virtual
+// id, or -1 for callers passing a negative color (MPI_UNDEFINED).
+// Communicator creation is restricted to Setup so that restart can rebuild
+// the same communicators by replaying Setup.
+func (e *Env) Split(vid, color, key int) int {
+	if !e.inSetup {
+		panic(fmt.Sprintf("rt: rank %d: Split outside Setup (communicators must be created during Setup)", e.p.Rank()))
+	}
+	sub := e.comm(vid).Comm.Split(color, key)
+	if sub == nil {
+		return -1
+	}
+	nvid := len(e.comms)
+	ci := commInfoOf(sub, nvid)
+	e.comms = append(e.comms, ci)
+	e.proto.RegisterComm(ci)
+	return nvid
+}
+
+// buf resolves a named buffer region; ln <= 0 means "to the end".
+func (e *Env) buf(id string, off, ln int) []byte {
+	b := e.app.Buffer(id)
+	if b == nil {
+		panic(fmt.Sprintf("rt: rank %d: unknown buffer %q", e.p.Rank(), id))
+	}
+	if ln <= 0 {
+		return b[off:]
+	}
+	return b[off : off+ln]
+}
+
+// chargeP2PWrapper charges the interposition cost of a wrapped
+// point-to-point call. MANA wraps every MPI function, not just collectives;
+// the native baseline runs unwrapped.
+func (e *Env) chargeP2PWrapper() {
+	if e.proto.Name() == "native" {
+		return
+	}
+	e.p.Ct.WrapperCalls++
+	e.p.Clk.Advance(e.p.World().Model.P.WrapperCost)
+}
+
+// Send sends data to comm rank dst with the given tag (eager, never blocks).
+func (e *Env) Send(vid, dst, tag int, data []byte) {
+	e.chargeP2PWrapper()
+	e.comm(vid).Comm.Send(dst, tag, data)
+	if e.coord.Pending() {
+		// A send may complete a parked peer's pending receive.
+		e.coord.Poke()
+	}
+}
+
+// Irecv posts a receive for (src, tag) into the named buffer region and
+// returns a request id. src may be mpi.AnySource, tag may be mpi.AnyTag.
+func (e *Env) Irecv(vid, src, tag int, bufID string, off, ln int) int {
+	e.chargeP2PWrapper()
+	region := e.buf(bufID, off, ln)
+	req := e.comm(vid).Comm.Irecv(src, tag, region)
+	id := e.addReq(req, &ckpt.RecvDesc{
+		CommVID: vid, Src: src, Tag: tag, BufID: bufID, Off: off, Len: len(region),
+	})
+	return id
+}
+
+func (e *Env) addReq(req *mpi.Request, recv *ckpt.RecvDesc) int {
+	id := e.nextReq
+	e.nextReq++
+	e.reqs[id] = &reqEntry{id: id, req: req, recv: recv}
+	e.reqOrd = append(e.reqOrd, id)
+	return id
+}
+
+// WaitAll waits for the given request ids (all outstanding requests if none
+// are given). It is a blocking batch: at most one per Step, as the final
+// action. While a checkpoint is pending the wait parks through the protocol.
+func (e *Env) WaitAll(ids ...int) {
+	e.noteBlocking()
+	if len(ids) == 0 {
+		ids = append([]int(nil), e.reqOrd...)
+	}
+	for _, id := range ids {
+		en, ok := e.reqs[id]
+		if !ok {
+			continue // already completed and collected
+		}
+		for !en.req.Done() {
+			if e.coord.Pending() {
+				desc := &ckpt.Descriptor{Kind: ckpt.ParkInWait}
+				if out := e.proto.HoldAtWait(desc, en.req.Done); out == ckpt.Terminated {
+					panic(errTerminated)
+				}
+				continue
+			}
+			// Block until the request completes — or a checkpoint request
+			// arrives, in which case the wait must become park-aware (the
+			// peer that would complete this request may itself park).
+			e.p.WaitUntil(func() bool { return en.req.Done() || e.coord.Pending() })
+		}
+		en.req.Wait() // completed: synchronize the clock and collect status
+		e.dropReq(id)
+	}
+}
+
+func (e *Env) dropReq(id int) {
+	delete(e.reqs, id)
+	for i, v := range e.reqOrd {
+		if v == id {
+			e.reqOrd = append(e.reqOrd[:i], e.reqOrd[i+1:]...)
+			break
+		}
+	}
+}
+
+// pendingRecvDescs returns descriptors for incomplete posted receives; the
+// coordinator calls it at capture time (the rank is parked).
+func (e *Env) pendingRecvDescs() []ckpt.RecvDesc {
+	var out []ckpt.RecvDesc
+	for _, en := range e.reqs {
+		if en.recv != nil && !en.req.Done() {
+			out = append(out, *en.recv)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].BufID != out[j].BufID {
+			return out[i].BufID < out[j].BufID
+		}
+		return out[i].Off < out[j].Off
+	})
+	return out
+}
+
+// noteBlocking enforces the one-blocking-batch-per-step contract when
+// checkpointing is enabled.
+func (e *Env) noteBlocking() {
+	if e.inSetup {
+		return
+	}
+	e.blockingInStep++
+	if e.enforceContract && e.blockingInStep > 1 {
+		panic(fmt.Sprintf("rt: rank %d: multiple blocking MPI batches in one Step "+
+			"(checkpointable apps must make the blocking batch the step's final action)", e.p.Rank()))
+	}
+}
+
+// stepBoundary resets per-step accounting.
+func (e *Env) stepBoundary() { e.blockingInStep = 0 }
+
+// runCollective routes one blocking collective through the protocol.
+func (e *Env) runCollective(ci *ckpt.CommInfo, desc *ckpt.Descriptor, exec func()) {
+	e.noteBlocking()
+	if out := e.proto.Collective(ci, desc, exec); out == ckpt.Terminated {
+		panic(errTerminated)
+	}
+}
+
+func collDesc(vid int, kind netmodel.CollKind, op mpi.Op, root int, in, out string) *ckpt.Descriptor {
+	return &ckpt.Descriptor{
+		Kind: ckpt.ParkPreCollective,
+		Coll: &ckpt.CollDesc{
+			CommVID: vid, Kind: int(kind), Op: int(op), Root: root,
+			InBufID: in, OutBufID: out,
+		},
+	}
+}
+
+// Barrier executes MPI_Barrier on the communicator.
+func (e *Env) Barrier(vid int) {
+	ci := e.comm(vid)
+	e.runCollective(ci, collDesc(vid, netmodel.Barrier, 0, 0, "", ""), func() {
+		ci.Comm.Barrier()
+	})
+}
+
+// Bcast broadcasts the named buffer from root (in place on non-roots).
+func (e *Env) Bcast(vid, root int, bufID string) {
+	ci := e.comm(vid)
+	e.runCollective(ci, collDesc(vid, netmodel.Bcast, 0, root, bufID, bufID), func() {
+		ci.Comm.Bcast(root, e.buf(bufID, 0, 0))
+	})
+}
+
+// Allreduce reduces the named buffer in place across the communicator.
+func (e *Env) Allreduce(vid int, op mpi.Op, bufID string) {
+	ci := e.comm(vid)
+	e.runCollective(ci, collDesc(vid, netmodel.Allreduce, op, 0, bufID, bufID), func() {
+		b := e.buf(bufID, 0, 0)
+		copy(b, ci.Comm.Allreduce(op, b))
+	})
+}
+
+// Reduce reduces the named buffer to the root (in place at the root).
+func (e *Env) Reduce(vid, root int, op mpi.Op, bufID string) {
+	ci := e.comm(vid)
+	e.runCollective(ci, collDesc(vid, netmodel.Reduce, op, root, bufID, bufID), func() {
+		b := e.buf(bufID, 0, 0)
+		if res := ci.Comm.Reduce(root, op, b); res != nil {
+			copy(b, res)
+		}
+	})
+}
+
+// Allgather gathers equal contributions from all ranks into the out buffer.
+func (e *Env) Allgather(vid int, inBufID, outBufID string) {
+	ci := e.comm(vid)
+	e.runCollective(ci, collDesc(vid, netmodel.Allgather, 0, 0, inBufID, outBufID), func() {
+		copy(e.buf(outBufID, 0, 0), ci.Comm.Allgather(e.buf(inBufID, 0, 0)))
+	})
+}
+
+// Alltoall exchanges equal blocks of the named buffer (in place).
+func (e *Env) Alltoall(vid int, bufID string) {
+	ci := e.comm(vid)
+	e.runCollective(ci, collDesc(vid, netmodel.Alltoall, 0, 0, bufID, bufID), func() {
+		b := e.buf(bufID, 0, 0)
+		copy(b, ci.Comm.Alltoall(b))
+	})
+}
+
+// Gather gathers contributions to the root's out buffer.
+func (e *Env) Gather(vid, root int, inBufID, outBufID string) {
+	ci := e.comm(vid)
+	e.runCollective(ci, collDesc(vid, netmodel.Gather, 0, root, inBufID, outBufID), func() {
+		res := ci.Comm.Gather(root, e.buf(inBufID, 0, 0))
+		if res != nil {
+			copy(e.buf(outBufID, 0, 0), res)
+		}
+	})
+}
+
+// Scatter distributes the root's in buffer in equal blocks to out buffers.
+func (e *Env) Scatter(vid, root int, inBufID, outBufID string) {
+	ci := e.comm(vid)
+	e.runCollective(ci, collDesc(vid, netmodel.Scatter, 0, root, inBufID, outBufID), func() {
+		var payload []byte
+		if ci.Comm.Rank() == root {
+			payload = e.buf(inBufID, 0, 0)
+		}
+		copy(e.buf(outBufID, 0, 0), ci.Comm.Scatter(root, payload))
+	})
+}
+
+// Scan computes the inclusive prefix reduction of the named buffer in place
+// (MPI_Scan).
+func (e *Env) Scan(vid int, op mpi.Op, bufID string) {
+	ci := e.comm(vid)
+	e.runCollective(ci, collDesc(vid, netmodel.Scan, op, 0, bufID, bufID), func() {
+		b := e.buf(bufID, 0, 0)
+		copy(b, ci.Comm.Scan(op, b))
+	})
+}
+
+// ReduceScatter reduces the named buffer across the communicator and
+// scatters equal blocks; the caller's block lands at the front of the
+// buffer (MPI_Reduce_scatter_block).
+func (e *Env) ReduceScatter(vid int, op mpi.Op, bufID string) {
+	ci := e.comm(vid)
+	e.runCollective(ci, collDesc(vid, netmodel.ReduceScatter, op, 0, bufID, bufID), func() {
+		b := e.buf(bufID, 0, 0)
+		copy(b, ci.Comm.ReduceScatter(op, b))
+	})
+}
+
+// initiate routes a non-blocking collective initiation through the protocol.
+func (e *Env) initiate(ci *ckpt.CommInfo, exec func() *mpi.Request) int {
+	req := e.proto.Initiate(ci, exec)
+	return e.addReq(req, nil)
+}
+
+// Ibarrier initiates a non-blocking barrier and returns a request id.
+func (e *Env) Ibarrier(vid int) int {
+	ci := e.comm(vid)
+	return e.initiate(ci, func() *mpi.Request { return ci.Comm.Ibarrier() })
+}
+
+// Ibcast initiates a non-blocking broadcast of the named buffer.
+func (e *Env) Ibcast(vid, root int, bufID string) int {
+	ci := e.comm(vid)
+	return e.initiate(ci, func() *mpi.Request { return ci.Comm.Ibcast(root, e.buf(bufID, 0, 0)) })
+}
+
+// Iallreduce initiates a non-blocking allreduce from in to out buffers.
+func (e *Env) Iallreduce(vid int, op mpi.Op, inBufID, outBufID string) int {
+	ci := e.comm(vid)
+	return e.initiate(ci, func() *mpi.Request {
+		return ci.Comm.Iallreduce(op, e.buf(inBufID, 0, 0), e.buf(outBufID, 0, 0))
+	})
+}
+
+// Iallgather initiates a non-blocking allgather.
+func (e *Env) Iallgather(vid int, inBufID, outBufID string) int {
+	ci := e.comm(vid)
+	return e.initiate(ci, func() *mpi.Request {
+		return ci.Comm.Iallgather(e.buf(inBufID, 0, 0), e.buf(outBufID, 0, 0))
+	})
+}
+
+// Ialltoall initiates a non-blocking all-to-all exchange.
+func (e *Env) Ialltoall(vid int, inBufID, outBufID string) int {
+	ci := e.comm(vid)
+	return e.initiate(ci, func() *mpi.Request {
+		return ci.Comm.Ialltoall(e.buf(inBufID, 0, 0), e.buf(outBufID, 0, 0))
+	})
+}
+
+// BenchCollective executes a size-only blocking collective: it costs
+// exactly what a data-carrying collective of the given per-rank payload
+// size would, without moving bytes. Micro-benchmarks use it to model large
+// messages without allocating them.
+func (e *Env) BenchCollective(vid int, kind netmodel.CollKind, root, size int) {
+	ci := e.comm(vid)
+	desc := &ckpt.Descriptor{
+		Kind: ckpt.ParkPreCollective,
+		Coll: &ckpt.CollDesc{CommVID: vid, Kind: int(kind), Root: root, VirtSize: size},
+	}
+	e.runCollective(ci, desc, func() {
+		ci.Comm.CollectiveSized(kind, root, size)
+	})
+}
+
+// IBenchCollective initiates a size-only non-blocking collective.
+func (e *Env) IBenchCollective(vid int, kind netmodel.CollKind, root, size int) int {
+	ci := e.comm(vid)
+	return e.initiate(ci, func() *mpi.Request {
+		return ci.Comm.ICollectiveSized(kind, root, size)
+	})
+}
+
+// execCollDesc re-issues a pending collective from its restart descriptor.
+func (e *Env) execCollDesc(d *ckpt.CollDesc) {
+	if d.VirtSize > 0 {
+		e.BenchCollective(d.CommVID, netmodel.CollKind(d.Kind), d.Root, d.VirtSize)
+		return
+	}
+	switch netmodel.CollKind(d.Kind) {
+	case netmodel.Barrier:
+		e.Barrier(d.CommVID)
+	case netmodel.Bcast:
+		e.Bcast(d.CommVID, d.Root, d.InBufID)
+	case netmodel.Allreduce:
+		e.Allreduce(d.CommVID, mpi.Op(d.Op), d.InBufID)
+	case netmodel.Reduce:
+		e.Reduce(d.CommVID, d.Root, mpi.Op(d.Op), d.InBufID)
+	case netmodel.Allgather:
+		e.Allgather(d.CommVID, d.InBufID, d.OutBufID)
+	case netmodel.Alltoall:
+		e.Alltoall(d.CommVID, d.InBufID)
+	case netmodel.Gather:
+		e.Gather(d.CommVID, d.Root, d.InBufID, d.OutBufID)
+	case netmodel.Scatter:
+		e.Scatter(d.CommVID, d.Root, d.InBufID, d.OutBufID)
+	case netmodel.Scan:
+		e.Scan(d.CommVID, mpi.Op(d.Op), d.InBufID)
+	case netmodel.ReduceScatter:
+		e.ReduceScatter(d.CommVID, mpi.Op(d.Op), d.InBufID)
+	default:
+		panic(fmt.Sprintf("rt: cannot re-issue collective kind %d", d.Kind))
+	}
+}
+
+// repostRecvs re-posts pending receives recorded in a restart image.
+func (e *Env) repostRecvs(descs []ckpt.RecvDesc) []int {
+	ids := make([]int, 0, len(descs))
+	for _, d := range descs {
+		ids = append(ids, e.Irecv(d.CommVID, d.Src, d.Tag, d.BufID, d.Off, d.Len))
+	}
+	return ids
+}

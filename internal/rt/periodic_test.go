@@ -1,0 +1,100 @@
+package rt
+
+import (
+	"testing"
+
+	"mana/internal/ckpt"
+)
+
+// TestPeriodicCheckpointing: the production pattern — checkpoint every T
+// virtual seconds while the job continues — must capture several times,
+// charge the storage cost each time, and leave results untouched.
+func TestPeriodicCheckpointing(t *testing.T) {
+	const iters = 60
+	want, base := runToCompletion(t, testConfig(8, AlgoCC), iters)
+
+	cfg := testConfig(8, AlgoCC)
+	// Period chosen to land several checkpoints within the run.
+	period := base.RuntimeVT / 4
+	cfg.Checkpoint = &CkptPlan{AtVT: period, Every: period, Mode: ckpt.ContinueAfterCapture}
+	apps := make([]*ringApp, cfg.Ranks)
+	rep, err := Run(cfg, func(rank int) App {
+		a := newRingApp(iters)
+		apps[rank] = a
+		return a
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatal("periodic run did not complete")
+	}
+	if len(rep.CheckpointHistory) < 2 {
+		t.Fatalf("expected multiple checkpoints, got %d", len(rep.CheckpointHistory))
+	}
+	if apps[0].Acc != want {
+		t.Fatalf("periodic checkpointing changed the result: %v vs %v", apps[0].Acc, want)
+	}
+	// Each capture must be later than the previous and charge write time.
+	var prev float64
+	for i, st := range rep.CheckpointHistory {
+		if st.CaptureVT <= prev {
+			t.Fatalf("checkpoint %d at %g not after previous (%g)", i, st.CaptureVT, prev)
+		}
+		if st.WriteVT <= 0 || st.ImageBytes <= 0 {
+			t.Fatalf("checkpoint %d missing I/O accounting: %+v", i, st)
+		}
+		prev = st.CaptureVT
+	}
+	// The job paid for every checkpoint: runtime exceeds the uninterrupted
+	// runtime by at least the sum of write times.
+	var writes float64
+	for _, st := range rep.CheckpointHistory {
+		writes += st.WriteVT
+	}
+	if rep.RuntimeVT < base.RuntimeVT+writes*0.9 {
+		t.Fatalf("checkpoint I/O not charged: %g < %g + %g", rep.RuntimeVT, base.RuntimeVT, writes)
+	}
+}
+
+// TestPeriodicCheckpointUnderLoad exercises repeated drain cycles on the
+// skewed chain where target updates fire.
+func TestPeriodicCheckpointUnderLoad(t *testing.T) {
+	const ranks, iters = 6, 200
+	cfg := testConfig(ranks, AlgoCC)
+	base, err := Run(cfg, func(rank int) App { return newChainApp(iters) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*chainApp, ranks)
+	if _, err := Run(cfg, func(rank int) App {
+		a := newChainApp(iters)
+		want[rank] = a
+		return a
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Checkpoint = &CkptPlan{
+		AtVT:  base.RuntimeVT / 5,
+		Every: base.RuntimeVT / 5,
+		Mode:  ckpt.ContinueAfterCapture,
+	}
+	got := make([]*chainApp, ranks)
+	rep, err := Run(cfg, func(rank int) App {
+		a := newChainApp(iters)
+		got[rank] = a
+		return a
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.CheckpointHistory) < 2 {
+		t.Fatalf("expected several checkpoints, got %d", len(rep.CheckpointHistory))
+	}
+	for r := range want {
+		if got[r].Acc != want[r].Acc {
+			t.Fatalf("rank %d diverged under periodic checkpointing", r)
+		}
+	}
+}

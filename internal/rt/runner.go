@@ -1,0 +1,371 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"mana/internal/ckpt"
+	"mana/internal/core"
+	"mana/internal/mpi"
+	"mana/internal/netmodel"
+	"mana/internal/trace"
+	"mana/internal/twopc"
+)
+
+// Algorithm names accepted by Config.Algorithm.
+const (
+	AlgoNative = "native"
+	Algo2PC    = "2pc"
+	AlgoCC     = "cc"
+)
+
+// CkptPlan schedules checkpointing during a run.
+type CkptPlan struct {
+	// AtVT requests the (first) checkpoint when any rank's virtual clock
+	// first reaches this time (seconds).
+	AtVT float64
+	// Every, when positive, requests further checkpoints at this virtual
+	// period after each capture — the production pattern of periodic
+	// checkpoints during a long run. Only meaningful with
+	// ContinueAfterCapture.
+	Every float64
+	// Mode selects continue-in-place or exit-for-restart.
+	Mode ckpt.Mode
+	// PaddedBytesPerRank, when positive, overrides the measured image size
+	// in the storage model (to reproduce the paper's image sizes).
+	PaddedBytesPerRank int64
+}
+
+// Config describes one job.
+type Config struct {
+	Ranks      int
+	PPN        int // ranks per node
+	Params     netmodel.Params
+	Algorithm  string // AlgoNative, Algo2PC, or AlgoCC
+	Checkpoint *CkptPlan
+}
+
+// Report summarizes one run.
+type Report struct {
+	App       string
+	Algorithm string
+	Ranks     int
+	PPN       int
+
+	// RuntimeVT is the job's virtual makespan (max rank clock at exit).
+	RuntimeVT float64
+	Counters  trace.Counters
+	Rates     trace.Rates
+
+	// Checkpoint results (nil if no checkpoint was captured). With periodic
+	// checkpointing, Checkpoint/Image describe the most recent capture and
+	// CheckpointHistory lists them all.
+	Checkpoint        *ckpt.CheckpointStats
+	Image             *ckpt.JobImage
+	CheckpointHistory []ckpt.CheckpointStats
+
+	// Completed is false when the job exited at a checkpoint (ExitAfterCapture).
+	Completed bool
+}
+
+// newAlgorithm wires up the requested algorithm.
+func newAlgorithm(name string, coord *ckpt.Coordinator) (ckpt.Algorithm, error) {
+	switch name {
+	case AlgoNative, "":
+		a := ckpt.NewNative()
+		coord.SetAlgorithm(a)
+		return a, nil
+	case Algo2PC:
+		return twopc.New(coord), nil
+	case AlgoCC:
+		return core.New(coord), nil
+	}
+	return nil, fmt.Errorf("rt: unknown algorithm %q", name)
+}
+
+func (cfg *Config) validate() error {
+	if cfg.Ranks <= 0 {
+		return fmt.Errorf("rt: invalid rank count %d", cfg.Ranks)
+	}
+	if cfg.PPN <= 0 {
+		return fmt.Errorf("rt: invalid ranks-per-node %d", cfg.PPN)
+	}
+	if cfg.Checkpoint != nil && (cfg.Algorithm == AlgoNative || cfg.Algorithm == "") {
+		return fmt.Errorf("rt: the native baseline cannot checkpoint")
+	}
+	return nil
+}
+
+// Run executes factory-created apps, one per rank, to completion (or to a
+// checkpoint-exit). It is the moral equivalent of mpirun under MANA.
+func Run(cfg Config, factory func(rank int) App) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	w := mpi.NewWorld(cfg.Ranks, netmodel.New(cfg.Params, cfg.PPN))
+	mode := ckpt.ContinueAfterCapture
+	if cfg.Checkpoint != nil {
+		mode = cfg.Checkpoint.Mode
+	}
+	coord := ckpt.NewCoordinator(w, mode)
+	if _, err := newAlgorithm(cfg.Algorithm, coord); err != nil {
+		return nil, err
+	}
+	return runJob(cfg, w, coord, factory, nil)
+}
+
+// runJob drives the rank goroutines over a prepared world. images, when
+// non-nil, holds per-rank restart images.
+func runJob(cfg Config, w *mpi.World, coord *ckpt.Coordinator, factory func(rank int) App, img *ckpt.JobImage) (*Report, error) {
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errMu    sync.Mutex
+		appName  atomic.Value
+
+		// Checkpoint scheduling: the next request time, advanced by Every
+		// after each successful request (periodic checkpointing).
+		ckptMu     sync.Mutex
+		nextCkptVT = math.Inf(1)
+	)
+	if cfg.Checkpoint != nil {
+		nextCkptVT = cfg.Checkpoint.AtVT
+	}
+	maybeRequest := func(now float64) {
+		ckptMu.Lock()
+		defer ckptMu.Unlock()
+		if now < nextCkptVT {
+			return
+		}
+		if coord.RequestCheckpoint(now) {
+			if cfg.Checkpoint.Every > 0 && cfg.Checkpoint.Mode == ckpt.ContinueAfterCapture {
+				nextCkptVT = now + cfg.Checkpoint.Every
+			} else {
+				nextCkptVT = math.Inf(1)
+			}
+		}
+	}
+	recordErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	// Restart barrier: every rank must finish restoring its image — in
+	// particular re-injecting its drained in-flight messages — before ANY
+	// rank resumes sending. Otherwise a fast-restarting peer's new message
+	// could overtake a drained one from the same sender and break the
+	// non-overtaking (FIFO) guarantee. Real MANA synchronizes restart the
+	// same way before returning control to user code.
+	var restoreWG sync.WaitGroup
+	restoredCh := make(chan struct{})
+	if img != nil {
+		restoreWG.Add(cfg.Ranks)
+		go func() {
+			restoreWG.Wait()
+			close(restoredCh)
+		}()
+	}
+
+	for r := 0; r < cfg.Ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if err, ok := p.(error); ok && errors.Is(err, errTerminated) {
+						return // checkpoint-and-exit unwind
+					}
+					// Surface rank panics (erroneous MPI programs, contract
+					// violations) as run errors rather than crashing the host.
+					recordErr(fmt.Errorf("rank %d: panic: %v", rank, p))
+					coord.FinishRank(rank)
+				}
+			}()
+
+			app := factory(rank)
+			if rank == 0 {
+				appName.Store(app.Name())
+			}
+			p := w.Proc(rank)
+			proto := coord.Algo.NewRank(p, w.WorldComm(rank))
+			env := newEnv(p, proto, coord, app, cfg.Checkpoint != nil)
+
+			coord.RegisterRank(rank, ckpt.RankHooks{
+				AppSnapshot:   app.Snapshot,
+				ProtoSnapshot: proto.Snapshot,
+				ClockVT:       p.Clk.Now,
+				SetClock:      p.Clk.Set,
+				PendingRecvs:  env.pendingRecvDescs,
+			})
+
+			env.inSetup = true
+			if err := app.Setup(env); err != nil {
+				recordErr(fmt.Errorf("rank %d setup: %w", rank, err))
+				coord.FinishRank(rank)
+				return
+			}
+			env.inSetup = false
+
+			// Restart path: restore state, synchronize with all ranks, then
+			// resume the parked operation.
+			if img != nil {
+				var once sync.Once
+				markRestored := func() { once.Do(restoreWG.Done) }
+				defer markRestored() // cover early error paths
+				ri := &img.Images[rank]
+				err := restoreFromImage(env, app, proto, p, img, ri)
+				markRestored()
+				if err != nil {
+					recordErr(fmt.Errorf("rank %d restore: %w", rank, err))
+					coord.FinishRank(rank)
+					return
+				}
+				<-restoredCh // all injections visible before anyone resumes
+				if err := resumePending(env, ri); err != nil {
+					recordErr(fmt.Errorf("rank %d resume: %w", rank, err))
+					coord.FinishRank(rank)
+					return
+				}
+				if ri.Desc.Kind == ckpt.ParkDone {
+					coord.FinishRank(rank)
+					return
+				}
+			}
+
+			for {
+				if cfg.Checkpoint != nil {
+					maybeRequest(p.Clk.Now())
+				}
+				env.stepBoundary()
+				if out := proto.AtBoundary(&ckpt.Descriptor{Kind: ckpt.ParkBoundary}); out == ckpt.Terminated {
+					return
+				}
+				more, err := app.Step(env)
+				if err != nil {
+					recordErr(fmt.Errorf("rank %d step: %w", rank, err))
+					break
+				}
+				if !more {
+					break
+				}
+			}
+			if out := proto.AtBoundary(&ckpt.Descriptor{Kind: ckpt.ParkDone}); out == ckpt.Terminated {
+				return
+			}
+			coord.FinishRank(rank)
+		}(r)
+	}
+	wg.Wait()
+
+	rep := &Report{
+		Algorithm: coord.Algo.Name(),
+		Ranks:     cfg.Ranks,
+		PPN:       cfg.PPN,
+		RuntimeVT: w.MaxTime(),
+		Completed: !coord.Terminated(),
+	}
+	if n, ok := appName.Load().(string); ok {
+		rep.App = n
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		rep.Counters.Add(w.Proc(r).Ct)
+	}
+	rep.Rates = trace.RatesOf(&rep.Counters, cfg.Ranks, rep.RuntimeVT)
+
+	if image, stats, err := coord.Result(); image != nil {
+		if cfg.Checkpoint != nil {
+			image.PaddedBytesPerRank = cfg.Checkpoint.PaddedBytesPerRank
+			stats.ImageBytes = image.TotalBytes()
+			nodes := (cfg.Ranks + cfg.PPN - 1) / cfg.PPN
+			stats.WriteVT = w.Model.CheckpointWriteTime(stats.ImageBytes, nodes)
+		}
+		rep.Image = image
+		rep.Checkpoint = &stats
+		rep.CheckpointHistory = coord.History()
+		if err != nil {
+			return rep, err
+		}
+	}
+	errMu.Lock()
+	defer errMu.Unlock()
+	return rep, firstErr
+}
+
+// Restart rebuilds a job from a checkpoint image — a fresh world (the new
+// lower half), replayed Setup, restored upper halves — and runs it to
+// completion. The configuration must describe the same job shape.
+func Restart(cfg Config, img *ckpt.JobImage, factory func(rank int) App) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if img.Ranks != cfg.Ranks || img.PPN != cfg.PPN {
+		return nil, fmt.Errorf("rt: image is %d ranks x %d ppn, config is %d x %d",
+			img.Ranks, img.PPN, cfg.Ranks, cfg.PPN)
+	}
+	if cfg.Algorithm != img.Algorithm {
+		return nil, fmt.Errorf("rt: image was captured under %q, config requests %q",
+			img.Algorithm, cfg.Algorithm)
+	}
+	w := mpi.NewWorld(cfg.Ranks, netmodel.New(cfg.Params, cfg.PPN))
+	mode := ckpt.ContinueAfterCapture
+	if cfg.Checkpoint != nil {
+		mode = cfg.Checkpoint.Mode
+	}
+	coord := ckpt.NewCoordinator(w, mode)
+	if _, err := newAlgorithm(cfg.Algorithm, coord); err != nil {
+		return nil, err
+	}
+	return runJob(cfg, w, coord, factory, img)
+}
+
+// restoreFromImage restores one rank's upper half: application state,
+// protocol state, clock, and the drained in-flight messages. It must
+// complete on every rank (the runner's restart barrier) before any rank
+// resumes execution.
+func restoreFromImage(env *Env, app App, proto ckpt.Protocol, p *mpi.Proc, img *ckpt.JobImage, ri *ckpt.RankImage) error {
+	if err := app.Restore(ri.App); err != nil {
+		return err
+	}
+	if err := proto.Restore(ri.Proto); err != nil {
+		return err
+	}
+	// All ranks resume at the common capture time; the restart I/O cost is
+	// modeled by the harness (Figure 9), not charged to the job clock.
+	p.Clk.Set(img.CaptureVT)
+
+	// Re-inject drained in-flight messages: they are available immediately.
+	if len(ri.Inflight) > 0 {
+		p.World().InjectDrained(p.Rank(), ri.Inflight, img.CaptureVT)
+	}
+	return nil
+}
+
+// resumePending re-issues whatever operation the rank was parked on.
+func resumePending(env *Env, ri *ckpt.RankImage) error {
+	switch ri.Desc.Kind {
+	case ckpt.ParkPreCollective, ckpt.ParkInBarrier:
+		// Re-post receives that were outstanding, then re-issue the pending
+		// collective (for 2PC the wrapper re-inserts its barrier first).
+		env.repostRecvs(ri.Desc.Recvs)
+		if ri.Desc.Coll == nil {
+			return fmt.Errorf("image parked %v without a collective descriptor", ri.Desc.Kind)
+		}
+		env.execCollDesc(ri.Desc.Coll)
+		env.stepBoundary()
+	case ckpt.ParkInWait:
+		ids := env.repostRecvs(ri.Desc.Recvs)
+		env.WaitAll(ids...)
+		env.stepBoundary()
+	case ckpt.ParkBoundary, ckpt.ParkDone, ckpt.ParkNone:
+		// Nothing pending.
+	default:
+		return fmt.Errorf("unknown park kind %v in image", ri.Desc.Kind)
+	}
+	return nil
+}

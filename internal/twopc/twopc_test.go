@@ -1,0 +1,130 @@
+package twopc
+
+import (
+	"sync"
+	"testing"
+
+	"mana/internal/ckpt"
+	"mana/internal/mpi"
+	"mana/internal/netmodel"
+)
+
+func newTest2PC(n int) (*TwoPC, []ckpt.Protocol, *mpi.World) {
+	w := mpi.NewWorld(n, netmodel.New(netmodel.PerlmutterLike(), n))
+	coord := ckpt.NewCoordinator(w, ckpt.ContinueAfterCapture)
+	tp := New(coord)
+	protos := make([]ckpt.Protocol, n)
+	for r := 0; r < n; r++ {
+		protos[r] = tp.NewRank(w.Proc(r), w.WorldComm(r))
+	}
+	return tp, protos, w
+}
+
+func worldInfo(w *mpi.World, rank int) *ckpt.CommInfo {
+	c := w.WorldComm(rank)
+	return &ckpt.CommInfo{Comm: c, Members: c.Group().SortedWorldRanks(), VID: 0}
+}
+
+func TestMetadata(t *testing.T) {
+	tp, protos, _ := newTest2PC(2)
+	if tp.Name() != "2pc" || protos[0].Name() != "2pc" {
+		t.Fatal("wrong name")
+	}
+	if tp.SupportsNonblocking() {
+		t.Fatal("2PC must not claim non-blocking support")
+	}
+	if !tp.Quiesced() {
+		t.Fatal("2PC quiesces whenever all ranks are parked")
+	}
+	if err := tp.VerifySafeState(); err != nil {
+		t.Fatal(err)
+	}
+	tp.OnCheckpointRequest() // must be a no-op, not panic
+}
+
+func TestCollectiveInsertsBarrier(t *testing.T) {
+	_, protos, w := newTest2PC(2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ci := worldInfo(w, rank)
+			protos[rank].RegisterComm(ci)
+			ran := false
+			out := protos[rank].Collective(ci, nil, func() { ci.Comm.Barrier() })
+			_ = ran
+			if out != ckpt.Proceed {
+				t.Errorf("rank %d: outcome %v", rank, out)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < 2; r++ {
+		if w.Proc(r).Ct.Barriers2PC != 1 {
+			t.Fatalf("rank %d: %d barriers inserted, want 1", r, w.Proc(r).Ct.Barriers2PC)
+		}
+		// One wrapped collective => one inserted Ibarrier => two collective
+		// initiations total (the barrier plus the real one).
+		if got := w.Proc(r).Ct.CollCalls(); got != 2 {
+			t.Fatalf("rank %d: %d collective calls, want 2", r, got)
+		}
+	}
+}
+
+func TestBarrierCostsSynchronization(t *testing.T) {
+	// The inserted barrier must force the wrapped collective to start only
+	// after the slowest rank has arrived — the source of 2PC's overhead.
+	_, protos, w := newTest2PC(2)
+	var wg sync.WaitGroup
+	exits := make([]float64, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ci := worldInfo(w, rank)
+			protos[rank].RegisterComm(ci)
+			if rank == 1 {
+				w.Proc(rank).Compute(1.0) // straggler
+			}
+			// A Bcast whose root (rank 0) would natively exit immediately.
+			protos[rank].Collective(ci, nil, func() { ci.Comm.Bcast(0, []byte{1}) })
+			exits[rank] = w.Proc(rank).Clk.Now()
+		}(r)
+	}
+	wg.Wait()
+	if exits[0] < 1.0 {
+		t.Fatalf("root exited at %g; the inserted barrier must hold it past the straggler's 1.0", exits[0])
+	}
+}
+
+func TestInitiatePanics(t *testing.T) {
+	_, protos, w := newTest2PC(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-blocking initiation accepted")
+		}
+	}()
+	protos[0].Initiate(worldInfo(w, 0), func() *mpi.Request { return nil })
+}
+
+func TestSnapshotRestoreEmpty(t *testing.T) {
+	_, protos, _ := newTest2PC(1)
+	b, err := protos[0].Snapshot()
+	if err != nil || b != nil {
+		t.Fatal("2PC snapshot should be empty")
+	}
+	if err := protos[0].Restore(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHoldAtWaitWithoutPending(t *testing.T) {
+	_, protos, _ := newTest2PC(1)
+	if out := protos[0].HoldAtWait(nil, func() bool { return true }); out != ckpt.Proceed {
+		t.Fatalf("outcome %v", out)
+	}
+	if out := protos[0].AtBoundary(&ckpt.Descriptor{Kind: ckpt.ParkBoundary}); out != ckpt.Proceed {
+		t.Fatalf("boundary outcome %v", out)
+	}
+}

@@ -1,0 +1,152 @@
+// Package mana is a Go reproduction of "Enabling Practical Transparent
+// Checkpointing for MPI: A Topological Sort Approach" (Xu & Cooperman,
+// CLUSTER 2024): the collective-clock (CC) algorithm for transparent
+// checkpointing of MPI applications, together with everything needed to
+// run and evaluate it on a laptop —
+//
+//   - an in-process MPI simulator (one goroutine per rank, virtual-time
+//     LogGP-style network model calibrated to a Slingshot-11-class fabric);
+//   - the CC algorithm (per-group sequence numbers, checkpoint-time targets,
+//     the topological-sort drain with target-update messages, and the
+//     non-blocking collective extension);
+//   - MANA's original two-phase-commit (2PC) baseline;
+//   - checkpoint capture, image serialization, and restart into a fresh
+//     "lower half";
+//   - proxy applications matching the paper's workloads (VASP, Poisson-CG,
+//     CoMD, LAMMPS, SW4, and the OSU micro-benchmarks);
+//   - an experiment harness regenerating the paper's Table 1 and Figures
+//     5 through 9.
+//
+// # Quick start
+//
+//	factory, _ := mana.Workload("vasp", 0.001)
+//	rep, err := mana.Run(mana.Config{
+//		Ranks:     512,
+//		PPN:       128,
+//		Params:    mana.PerlmutterLike(),
+//		Algorithm: mana.AlgoCC,
+//	}, factory)
+//
+// To checkpoint and restart:
+//
+//	cfg.Checkpoint = &mana.CkptPlan{AtVT: 1.0, Mode: mana.ExitAfterCapture}
+//	rep, _ := mana.Run(cfg, factory)          // exits at the safe state
+//	rep2, _ := mana.Restart(cfg2, rep.Image, factory) // fresh lower half
+//
+// Custom applications implement the App interface (see its documentation
+// for the checkpointing contract) and talk to MPI through Env.
+package mana
+
+import (
+	"mana/internal/ckpt"
+	"mana/internal/mpi"
+	"mana/internal/netmodel"
+	"mana/internal/rt"
+)
+
+// Core types, re-exported from the runtime.
+type (
+	// App is a checkpointable MPI application; see the interface's
+	// documentation for the step/snapshot contract.
+	App = rt.App
+	// Env is the per-rank MPI-facing API (sends, receives, collectives).
+	Env = rt.Env
+	// Config describes one job: size, placement, network, algorithm.
+	Config = rt.Config
+	// CkptPlan schedules a checkpoint during a run.
+	CkptPlan = rt.CkptPlan
+	// Report summarizes a run: virtual makespan, call counters, rates,
+	// checkpoint statistics, and the captured image (exit mode).
+	Report = rt.Report
+	// JobImage is a serializable checkpoint of a whole job.
+	JobImage = ckpt.JobImage
+	// CheckpointStats records one checkpoint's drain and I/O costs.
+	CheckpointStats = ckpt.CheckpointStats
+	// Params holds the network/storage model constants.
+	Params = netmodel.Params
+	// CollKind enumerates collective operations (Bcast, Allreduce, ...).
+	CollKind = netmodel.CollKind
+	// Op is a reduction operation (OpSum, OpMax, OpMin, OpProd).
+	Op = mpi.Op
+)
+
+// Checkpointing algorithms.
+const (
+	// AlgoNative runs without checkpoint support (the baseline).
+	AlgoNative = rt.AlgoNative
+	// Algo2PC is MANA's original two-phase-commit algorithm: an inserted
+	// Ibarrier+test loop before every collective. High overhead; no
+	// non-blocking collectives.
+	Algo2PC = rt.Algo2PC
+	// AlgoCC is the paper's collective-clock algorithm: near-zero runtime
+	// overhead, non-blocking collectives supported.
+	AlgoCC = rt.AlgoCC
+)
+
+// Checkpoint modes.
+const (
+	// ContinueAfterCapture resumes the job in place after the checkpoint.
+	ContinueAfterCapture = ckpt.ContinueAfterCapture
+	// ExitAfterCapture terminates the job at the checkpoint; restart from
+	// the returned image (allocation chaining).
+	ExitAfterCapture = ckpt.ExitAfterCapture
+)
+
+// Reduction operations.
+const (
+	OpSum    = mpi.OpSum
+	OpMax    = mpi.OpMax
+	OpMaxLoc = mpi.OpMaxLoc
+	OpMinLoc = mpi.OpMinLoc
+	OpMin    = mpi.OpMin
+	OpProd   = mpi.OpProd
+)
+
+// Collective kinds.
+const (
+	Barrier       = netmodel.Barrier
+	Bcast         = netmodel.Bcast
+	Reduce        = netmodel.Reduce
+	Allreduce     = netmodel.Allreduce
+	Gather        = netmodel.Gather
+	Allgather     = netmodel.Allgather
+	Alltoall      = netmodel.Alltoall
+	Scatter       = netmodel.Scatter
+	ReduceScatter = netmodel.ReduceScatter
+	Scan          = netmodel.Scan
+)
+
+// WorldVID is the virtual communicator id of MPI_COMM_WORLD.
+const WorldVID = rt.WorldVID
+
+// AnySource and AnyTag are receive wildcards.
+const (
+	AnySource = mpi.AnySource
+	AnyTag    = mpi.AnyTag
+)
+
+// Run executes one job: factory-created apps, one per rank, to completion
+// or to a checkpoint-exit.
+func Run(cfg Config, factory func(rank int) App) (*Report, error) {
+	return rt.Run(cfg, factory)
+}
+
+// Restart rebuilds a job from a checkpoint image — a fresh lower half with
+// the upper halves restored — and runs it onward.
+func Restart(cfg Config, img *JobImage, factory func(rank int) App) (*Report, error) {
+	return rt.Restart(cfg, img, factory)
+}
+
+// PerlmutterLike returns network parameters resembling a Slingshot-11
+// system with 128 ranks per node (the paper's testbed).
+func PerlmutterLike() Params { return netmodel.PerlmutterLike() }
+
+// EthernetLike returns parameters resembling a commodity gigabit cluster.
+func EthernetLike() Params { return netmodel.EthernetLike() }
+
+// F64Bytes encodes a float64 vector as a little-endian payload for sends
+// and collective buffers.
+func F64Bytes(xs []float64) []byte { return mpi.F64Bytes(xs) }
+
+// BytesF64 decodes a little-endian float64 payload.
+func BytesF64(b []byte) []float64 { return mpi.BytesF64(b) }

@@ -1,0 +1,46 @@
+package mana
+
+import "mana/internal/mpi"
+
+// DimsCreate factors n processes into ndims balanced dimensions
+// (MPI_Dims_create): the most-square decomposition, non-increasing.
+func DimsCreate(n, ndims int) []int { return mpi.DimsCreate(n, ndims) }
+
+// Grid is pure Cartesian-topology coordinate math (row-major, like
+// MPI_Cart_create with reorder=false) for applications that decompose their
+// domain over ranks. It carries no communicator — neighbors are expressed
+// as world ranks usable with Env's point-to-point calls — so it is trivially
+// reconstructible after restart.
+type Grid struct {
+	cart mpi.Cart
+}
+
+// NewGrid builds a topology over len(dims) dimensions; periodic marks
+// wrap-around dimensions.
+func NewGrid(dims []int, periodic []bool) Grid {
+	if len(dims) != len(periodic) {
+		panic("mana: NewGrid dims/periodic length mismatch")
+	}
+	return Grid{cart: mpi.Cart{
+		Dims:     append([]int(nil), dims...),
+		Periodic: append([]bool(nil), periodic...),
+	}}
+}
+
+// Coords returns the coordinates of a rank.
+func (g Grid) Coords(rank int) []int { return g.cart.Coords(rank) }
+
+// Rank returns the rank at the given coordinates, wrapping periodic
+// dimensions; -1 (PROC_NULL) for out-of-range non-periodic coordinates.
+func (g Grid) Rank(coords []int) int { return g.cart.Rank(coords) }
+
+// Shift returns the (source, destination) ranks for a displacement along
+// one dimension from the given rank (MPI_Cart_shift).
+func (g Grid) Shift(rank, dim, disp int) (src, dst int) {
+	me := g.cart.Coords(rank)
+	up := append([]int(nil), me...)
+	up[dim] += disp
+	down := append([]int(nil), me...)
+	down[dim] -= disp
+	return g.cart.Rank(down), g.cart.Rank(up)
+}
