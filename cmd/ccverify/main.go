@@ -1,0 +1,105 @@
+// Command ccverify runs the checkpoint-anywhere conformance matrix: for
+// every selected workload and algorithm it checks that a checkpoint taken at
+// each of a sweep of step-indexed trigger points restarts into a state
+// bitwise-identical to an uninterrupted run (see internal/conformance).
+//
+// Usage:
+//
+//	ccverify [-ranks N] [-ppn N] [-scale F] [-workloads a,b] [-algos cc,2pc]
+//	         [-min-triggers N] [-max-triggers N] [-negative] [-v]
+//
+// The exit status is non-zero if any trigger point fails, making ccverify
+// directly usable as a CI gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mana/internal/apps"
+	"mana/internal/conformance"
+)
+
+func main() {
+	var (
+		ranks       = flag.Int("ranks", 4, "simulated ranks")
+		ppn         = flag.Int("ppn", 4, "ranks per node")
+		scale       = flag.Float64("scale", 0.001, "workload iteration scale (auto-doubled if too few steps)")
+		workloads   = flag.String("workloads", strings.Join(apps.Names, ","), "comma-separated workloads")
+		algos       = flag.String("algos", "cc,2pc", "comma-separated algorithms")
+		minTriggers = flag.Int("min-triggers", 8, "minimum checkpoint trigger points per case")
+		maxTriggers = flag.Int("max-triggers", 16, "trigger sweep cap (stratified sampling beyond)")
+		negative    = flag.Bool("negative", true, "also verify that a corrupted image is detected")
+		verbose     = flag.Bool("v", false, "log every trigger point")
+	)
+	flag.Parse()
+
+	wls, algoList := splitList(*workloads), splitList(*algos)
+	if len(wls) == 0 || len(algoList) == 0 {
+		fmt.Fprintln(os.Stderr, "ccverify: -workloads and -algos must each name at least one entry")
+		os.Exit(2)
+	}
+
+	opts := conformance.Options{
+		Ranks:       *ranks,
+		PPN:         *ppn,
+		Scale:       *scale,
+		Workloads:   wls,
+		Algorithms:  algoList,
+		MinTriggers: *minTriggers,
+		MaxTriggers: *maxTriggers,
+		Verbose:     *verbose,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+
+	start := time.Now()
+	matrix, err := conformance.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccverify: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(matrix.String())
+
+	failed := matrix.Failed()
+	if *negative {
+		// Run the corruption check on the first case the matrix actually
+		// executed (a skipped NA cell has no image to corrupt).
+		ran := false
+		for _, c := range matrix.Cases {
+			if c.Skipped {
+				continue
+			}
+			ran = true
+			if err := conformance.VerifyCorruptionDetected(c.Workload, c.Algorithm, opts); err != nil {
+				fmt.Printf("negative check (%s/%s): FAIL: %v\n", c.Workload, c.Algorithm, err)
+				failed = true
+			} else {
+				fmt.Printf("negative check (%s/%s): corrupted image detected, ok\n", c.Workload, c.Algorithm)
+			}
+			break
+		}
+		if !ran {
+			fmt.Println("negative check: skipped (no runnable case in the matrix)")
+		}
+	}
+
+	fmt.Printf("total %s\n", time.Since(start).Round(time.Millisecond))
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

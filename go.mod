@@ -1,0 +1,3 @@
+module mana
+
+go 1.21

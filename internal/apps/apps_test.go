@@ -1,6 +1,8 @@
 package apps
 
 import (
+	"bytes"
+	"fmt"
 	"math"
 	"math/cmplx"
 	"testing"
@@ -495,5 +497,83 @@ func TestOSUP2PCheckpointRestart(t *testing.T) {
 	}
 	if !rep2.Completed {
 		t.Fatal("restart incomplete")
+	}
+}
+
+// --- Snapshot round-trip determinism --------------------------------------
+
+// roundTripApps runs a short native job and returns the per-rank app
+// instances with genuine mid-run state in them.
+func roundTripApps(t *testing.T, ranks int, factory func(rank int) rt.App) []rt.App {
+	t.Helper()
+	held := make([]rt.App, ranks)
+	if _, err := rt.Run(smallConfig(ranks, rt.AlgoNative), func(rank int) rt.App {
+		held[rank] = factory(rank)
+		return held[rank]
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return held
+}
+
+// checkRoundTrip asserts encode -> decode -> re-encode is the identity for
+// an app carrying real state. This catches serialization drift (and any
+// non-canonical encoding, e.g. map-ordered buffers) without running the
+// full conformance matrix.
+func checkRoundTrip(t *testing.T, name string, app rt.App) {
+	t.Helper()
+	s1, err := app.Snapshot()
+	if err != nil {
+		t.Fatalf("%s: snapshot: %v", name, err)
+	}
+	if err := app.Restore(s1); err != nil {
+		t.Fatalf("%s: restore: %v", name, err)
+	}
+	s2, err := app.Snapshot()
+	if err != nil {
+		t.Fatalf("%s: re-snapshot: %v", name, err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatalf("%s: snapshot not canonical: %d vs %d bytes (or content drift)", name, len(s1), len(s2))
+	}
+	// Canonical also means stable across repeated encodes of the same state.
+	s3, err := app.Snapshot()
+	if err != nil {
+		t.Fatalf("%s: third snapshot: %v", name, err)
+	}
+	if !bytes.Equal(s2, s3) {
+		t.Fatalf("%s: repeated snapshots of identical state differ", name)
+	}
+}
+
+// TestSnapshotRoundTripEveryWorkload covers each registered workload.
+func TestSnapshotRoundTripEveryWorkload(t *testing.T) {
+	for _, name := range Names {
+		factory, err := Factory(name, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps := roundTripApps(t, 4, factory)
+		for rank, app := range apps {
+			checkRoundTrip(t, fmt.Sprintf("%s/rank%d", name, rank), app)
+		}
+	}
+}
+
+// TestSnapshotRoundTripOSU covers the micro-benchmark apps too.
+func TestSnapshotRoundTripOSU(t *testing.T) {
+	osu := roundTripApps(t, 4, func(int) rt.App {
+		return NewOSU(OSUConfig{Kind: netmodel.Allreduce, Size: 8, Iterations: 5})
+	})
+	p2p := roundTripApps(t, 4, func(int) rt.App {
+		return NewOSUP2P(OSUP2PConfig{Size: 8, Iterations: 5, Peer: 1})
+	})
+	bw := roundTripApps(t, 4, func(int) rt.App {
+		return NewOSUP2P(OSUP2PConfig{Bandwidth: true, Size: 64, Window: 4, Iterations: 5, Peer: 1})
+	})
+	for rank := 0; rank < 4; rank++ {
+		checkRoundTrip(t, fmt.Sprintf("osu/rank%d", rank), osu[rank])
+		checkRoundTrip(t, fmt.Sprintf("osup2p/rank%d", rank), p2p[rank])
+		checkRoundTrip(t, fmt.Sprintf("osubw/rank%d", rank), bw[rank])
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 )
 
 // bufset is a named-buffer registry shared by the proxy apps.
@@ -42,19 +43,39 @@ func (b *bufset) add(id string, n int) []byte {
 
 func (b *bufset) get(id string) []byte { return b.M[id] }
 
-// restore copies saved buffer contents into the (already allocated, same
-// shape) registry. Unknown or mis-sized buffers are an error: Setup and the
-// snapshot disagree, which means the restart configuration is wrong.
-func (b *bufset) restore(saved map[string][]byte) error {
-	for id, data := range saved {
-		dst, ok := b.M[id]
+// BufEntry is one named buffer in a snapshot. Snapshots serialize buffers as
+// a slice sorted by ID rather than a map: gob encodes maps in random
+// iteration order, and snapshot bytes must be canonical — the conformance
+// engine compares state digests bitwise, and encode→decode→re-encode must be
+// the identity.
+type BufEntry struct {
+	ID   string
+	Data []byte
+}
+
+// entries returns the buffer set in canonical (ID-sorted) order.
+func (b *bufset) entries() []BufEntry {
+	out := make([]BufEntry, 0, len(b.M))
+	for id, data := range b.M {
+		out = append(out, BufEntry{ID: id, Data: data})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// restoreEntries copies saved buffer contents into the (already allocated,
+// same shape) registry. Unknown or mis-sized buffers are an error: Setup and
+// the snapshot disagree, which means the restart configuration is wrong.
+func (b *bufset) restoreEntries(saved []BufEntry) error {
+	for _, e := range saved {
+		dst, ok := b.M[e.ID]
 		if !ok {
-			return fmt.Errorf("apps: snapshot has unknown buffer %q", id)
+			return fmt.Errorf("apps: snapshot has unknown buffer %q", e.ID)
 		}
-		if len(dst) != len(data) {
-			return fmt.Errorf("apps: buffer %q size mismatch: %d vs %d", id, len(dst), len(data))
+		if len(dst) != len(e.Data) {
+			return fmt.Errorf("apps: buffer %q size mismatch: %d vs %d", e.ID, len(dst), len(e.Data))
 		}
-		copy(dst, data)
+		copy(dst, e.Data)
 	}
 	return nil
 }

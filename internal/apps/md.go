@@ -225,8 +225,8 @@ func (m *MD) Snapshot() ([]byte, error) {
 		Iter, Phase   int
 		Pos, Vel, Frc []float64
 		Energy        float64
-		Bufs          map[string][]byte
-	}{m.Iter, m.Phase, m.Pos, m.Vel, m.Frc, m.Energy, m.bufs.M})
+		Bufs          []BufEntry
+	}{m.Iter, m.Phase, m.Pos, m.Vel, m.Frc, m.Energy, m.bufs.entries()})
 }
 
 // Restore implements rt.App.
@@ -235,7 +235,7 @@ func (m *MD) Restore(data []byte) error {
 		Iter, Phase   int
 		Pos, Vel, Frc []float64
 		Energy        float64
-		Bufs          map[string][]byte
+		Bufs          []BufEntry
 	}
 	if err := gobDecode(data, &st); err != nil {
 		return err
@@ -244,5 +244,5 @@ func (m *MD) Restore(data []byte) error {
 	copy(m.Pos, st.Pos)
 	copy(m.Vel, st.Vel)
 	copy(m.Frc, st.Frc)
-	return m.bufs.restore(st.Bufs)
+	return m.bufs.restoreEntries(st.Bufs)
 }

@@ -87,10 +87,12 @@ func (o *OSUP2P) Step(env *rt.Env) (bool, error) {
 		switch o.Phase {
 		case 0:
 			if me == 0 {
+				// Post the ack receive before firing the window so the
+				// reply can never race an unposted receive.
+				env.Irecv(rt.WorldVID, other, 59, "buf", 0, 1)
 				for k := 0; k < o.cfg.Window; k++ {
 					env.Send(rt.WorldVID, other, 60+k%8, payload)
 				}
-				env.Irecv(rt.WorldVID, other, 59, "buf", 0, 1)
 			} else {
 				for k := 0; k < o.cfg.Window; k++ {
 					env.Irecv(rt.WorldVID, other, 60+k%8, "buf", 0, o.cfg.Size)
@@ -115,13 +117,16 @@ func (o *OSUP2P) Step(env *rt.Env) (bool, error) {
 		return true, nil
 	}
 
-	// Latency: classic ping-pong.
+	// Latency: classic ping-pong. The receive is posted before the ping is
+	// sent (and before the blocking wait on both ranks), mirroring the
+	// bandwidth phase: the pong can then never arrive at an unposted
+	// receive, whatever the partner's reply ordering.
 	switch o.Phase {
 	case 0:
+		env.Irecv(rt.WorldVID, other, 61, "buf", 0, o.cfg.Size)
 		if me == 0 {
 			env.Send(rt.WorldVID, other, 61, payload)
 		}
-		env.Irecv(rt.WorldVID, other, 61, "buf", 0, o.cfg.Size)
 		o.Phase = 1
 		env.WaitAll()
 	case 1:

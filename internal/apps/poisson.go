@@ -171,8 +171,8 @@ func (p *Poisson) Snapshot() ([]byte, error) {
 		X, R, P, Q    []float64
 		Rho, Residual float64
 		Converged     bool
-		Bufs          map[string][]byte
-	}{p.Iter, p.Phase, p.X, p.R, p.P, p.Q, p.Rho, p.Residual, p.Converged, p.bufs.M})
+		Bufs          []BufEntry
+	}{p.Iter, p.Phase, p.X, p.R, p.P, p.Q, p.Rho, p.Residual, p.Converged, p.bufs.entries()})
 }
 
 // Restore implements rt.App.
@@ -182,7 +182,7 @@ func (p *Poisson) Restore(data []byte) error {
 		X, R, P, Q    []float64
 		Rho, Residual float64
 		Converged     bool
-		Bufs          map[string][]byte
+		Bufs          []BufEntry
 	}
 	if err := gobDecode(data, &st); err != nil {
 		return err
@@ -192,5 +192,5 @@ func (p *Poisson) Restore(data []byte) error {
 	copy(p.R, st.R)
 	copy(p.P, st.P)
 	copy(p.Q, st.Q)
-	return p.bufs.restore(st.Bufs)
+	return p.bufs.restoreEntries(st.Bufs)
 }

@@ -159,8 +159,8 @@ func (s *SW4Mini) Snapshot() ([]byte, error) {
 		Iter, Phase int
 		U, Uprev    []float64
 		MaxU        float64
-		Bufs        map[string][]byte
-	}{s.Iter, s.Phase, s.U, s.Uprev, s.MaxU, s.bufs.M})
+		Bufs        []BufEntry
+	}{s.Iter, s.Phase, s.U, s.Uprev, s.MaxU, s.bufs.entries()})
 }
 
 // Restore implements rt.App.
@@ -169,7 +169,7 @@ func (s *SW4Mini) Restore(data []byte) error {
 		Iter, Phase int
 		U, Uprev    []float64
 		MaxU        float64
-		Bufs        map[string][]byte
+		Bufs        []BufEntry
 	}
 	if err := gobDecode(data, &st); err != nil {
 		return err
@@ -177,5 +177,5 @@ func (s *SW4Mini) Restore(data []byte) error {
 	s.Iter, s.Phase, s.MaxU = st.Iter, st.Phase, st.MaxU
 	copy(s.U, st.U)
 	copy(s.Uprev, st.Uprev)
-	return s.bufs.restore(st.Bufs)
+	return s.bufs.restoreEntries(st.Bufs)
 }

@@ -170,9 +170,9 @@ func (v *VASPMini) Snapshot() ([]byte, error) {
 		Iter, Phase int
 		Slab        []complex128
 		Energy      float64
-		Bufs        map[string][]byte
+		Bufs        []BufEntry
 		Rng         uint64
-	}{v.Iter, v.Phase, v.Slab, v.Energy, v.bufs.M, v.rng.S})
+	}{v.Iter, v.Phase, v.Slab, v.Energy, v.bufs.entries(), v.rng.S})
 }
 
 // Restore implements rt.App.
@@ -181,7 +181,7 @@ func (v *VASPMini) Restore(data []byte) error {
 		Iter, Phase int
 		Slab        []complex128
 		Energy      float64
-		Bufs        map[string][]byte
+		Bufs        []BufEntry
 		Rng         uint64
 	}
 	if err := gobDecode(data, &st); err != nil {
@@ -189,5 +189,5 @@ func (v *VASPMini) Restore(data []byte) error {
 	}
 	v.Iter, v.Phase, v.Energy, v.rng.S = st.Iter, st.Phase, st.Energy, st.Rng
 	copy(v.Slab, st.Slab)
-	return v.bufs.restore(st.Bufs)
+	return v.bufs.restoreEntries(st.Bufs)
 }

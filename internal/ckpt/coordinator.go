@@ -46,6 +46,17 @@ type CheckpointStats struct {
 	DrainVT    float64 // CaptureVT - RequestVT: cost of the drain protocol
 	ImageBytes int64
 	WriteVT    float64 // modeled storage write time charged to the job
+
+	// Drain-progress counters, summed across ranks at capture time. The
+	// conformance engine asserts on them: a CC drain must balance its target
+	// updates, and the park census must account for every rank.
+	TargetUpdatesSent int64 // CC target-update messages sent during the drain
+	TargetUpdatesRecv int64 // CC target-update messages consumed
+	DrainTests        int64 // non-blocking completion tests while draining
+	ParkedPreColl     int   // ranks captured at a collective wrapper entry
+	ParkedInBarrier   int   // ranks captured inside 2PC's inserted barrier
+	ParkedInWait      int   // ranks captured inside a point-to-point wait
+	DoneAtCapture     int   // ranks that had finished their program
 }
 
 // phase of the coordinator's checkpoint state machine.
@@ -94,6 +105,13 @@ func NewCoordinator(w *mpi.World, mode Mode) *Coordinator {
 	c.descs = make([]*Descriptor, w.N)
 	c.doneRanks = make([]bool, w.N)
 	c.hooks = make([]RankHooks, w.N)
+	// A world abort must wake ranks parked on the coordinator's condition
+	// variable so they observe it and unwind.
+	w.OnAbort(func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
 	return c
 }
 
@@ -159,11 +177,17 @@ func (c *Coordinator) RequestCheckpoint(vt float64) bool {
 func (c *Coordinator) captureWatcher() {
 	c.mu.Lock()
 	for !(c.ph == phasePending && c.allParkedLocked() && c.Algo.Quiesced()) {
-		if c.ph != phasePending {
+		if c.ph != phasePending || c.W.AbortErr() != nil {
 			c.mu.Unlock()
 			return
 		}
 		c.cond.Wait()
+	}
+	if c.W.AbortErr() != nil {
+		// The world died while this watcher slept; a post-mortem image of
+		// unwound ranks would be garbage.
+		c.mu.Unlock()
+		return
 	}
 	// Safe state reached: every rank is parked at a capturable point and the
 	// algorithm's drain is complete. Capture with all ranks blocked.
@@ -242,6 +266,25 @@ func (c *Coordinator) captureLocked() {
 			DrainVT:    maxVT - c.requestVT,
 			ImageBytes: img.TotalBytes(),
 		}
+		// Drain-progress census. Every live rank is blocked (parked on the
+		// coordinator condition or finished through FinishRank's lock), so
+		// reading its counters here is ordered by c.mu.
+		for r := 0; r < c.W.N; r++ {
+			ct := c.W.Proc(r).Ct
+			c.stats.TargetUpdatesSent += ct.TargetUpdatesSent
+			c.stats.TargetUpdatesRecv += ct.TargetUpdatesRecv
+			c.stats.DrainTests += ct.DrainTests
+			switch {
+			case c.descs[r] != nil && c.descs[r].Kind == ParkPreCollective:
+				c.stats.ParkedPreColl++
+			case c.descs[r] != nil && c.descs[r].Kind == ParkInBarrier:
+				c.stats.ParkedInBarrier++
+			case c.descs[r] != nil && c.descs[r].Kind == ParkInWait:
+				c.stats.ParkedInWait++
+			case c.doneRanks[r] || (c.descs[r] != nil && c.descs[r].Kind == ParkDone):
+				c.stats.DoneAtCapture++
+			}
+		}
 		nodes := (c.W.N + c.W.Model.PPN - 1) / c.W.Model.PPN
 		c.stats.WriteVT = c.W.Model.CheckpointWriteTime(img.TotalBytes(), nodes)
 		c.image = img
@@ -263,6 +306,7 @@ func (c *Coordinator) captureLocked() {
 			c.ph = phaseReleased
 		}
 		c.cond.Broadcast()
+		c.W.NoteActivity()
 	}
 }
 
@@ -279,7 +323,9 @@ func (c *Coordinator) ParkUntil(rank int, d *Descriptor, decide func() Decision)
 	}
 	c.parked[rank] = true
 	c.descs[rank] = d
+	c.W.NoteActivity()
 	c.cond.Broadcast() // the capture watcher may now see all-parked
+	defer c.W.SetWaitSite(rank, "")
 
 	for {
 		switch c.ph {
@@ -287,6 +333,7 @@ func (c *Coordinator) ParkUntil(rank int, d *Descriptor, decide func() Decision)
 			// Captured (or a concurrent release); this rank continues.
 			c.parked[rank] = false
 			c.descs[rank] = nil
+			c.W.NoteActivity()
 			if c.ph == phaseReleased {
 				c.maybeBackToIdleLocked()
 			}
@@ -294,12 +341,19 @@ func (c *Coordinator) ParkUntil(rank int, d *Descriptor, decide func() Decision)
 		case phaseTerminated:
 			return Terminated
 		}
+		if err := c.W.AbortErr(); err != nil {
+			panic(mpi.AbortError{Err: err})
+		}
 		if decide() == Resume {
 			c.parked[rank] = false
 			c.descs[rank] = nil
+			c.W.NoteActivity()
 			c.cond.Broadcast()
 			return Proceed
 		}
+		// Re-assert the label each cycle: the decide callback may have run
+		// MPI calls (absorbing target updates) that relabeled the rank.
+		c.W.SetWaitSite(rank, "parked:"+d.Kind.String())
 		c.cond.Wait()
 	}
 }
@@ -322,6 +376,8 @@ func (c *Coordinator) FinishRank(rank int) {
 	c.doneRanks[rank] = true
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	c.W.SetWaitSite(rank, "done")
+	c.W.NoteActivity()
 }
 
 // Outcome returns the checkpoint results once a capture has happened.
@@ -353,8 +409,36 @@ func (c *Coordinator) Terminated() bool {
 // must NOT hold c's lock; pred is evaluated under it.
 func (c *Coordinator) WaitFor(pred func() bool) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	for !pred() {
+		if err := c.W.AbortErr(); err != nil {
+			panic(mpi.AbortError{Err: err})
+		}
 		c.cond.Wait()
 	}
-	c.mu.Unlock()
+}
+
+// DebugString renders the coordinator's state for the deadlock watchdog's
+// diagnostic dump.
+func (c *Coordinator) DebugString() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := map[phase]string{
+		phaseIdle: "idle", phasePending: "pending",
+		phaseReleased: "released", phaseTerminated: "terminated",
+	}
+	parked, done := 0, 0
+	for i := range c.parked {
+		if c.parked[i] {
+			parked++
+		}
+		if c.doneRanks[i] {
+			done++
+		}
+	}
+	s := fmt.Sprintf("ckpt: phase=%s parked=%d/%d done=%d", names[c.ph], parked, c.W.N, done)
+	if c.ph == phasePending && c.Algo != nil {
+		s += fmt.Sprintf(" quiesced=%v", c.Algo.Quiesced())
+	}
+	return s
 }

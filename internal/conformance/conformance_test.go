@@ -1,0 +1,165 @@
+package conformance
+
+import (
+	"testing"
+
+	"mana/internal/apps"
+	"mana/internal/rt"
+)
+
+// TestConformanceMatrix is the engine's primary assertion: every registered
+// workload, under both the CC algorithm and the 2PC baseline, restarts from
+// a checkpoint taken at every sweep point into a state bitwise-identical to
+// an uninterrupted run. In -short mode the matrix is thinned to one
+// representative workload per algorithm.
+func TestConformanceMatrix(t *testing.T) {
+	opts := Options{
+		Verbose: testing.Verbose(),
+		Logf:    t.Logf,
+	}
+	if testing.Short() {
+		opts.Workloads = []string{"comd"}
+	}
+	m, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skips := 0
+	for i := range m.Cases {
+		c := &m.Cases[i]
+		if c.Skipped {
+			skips++
+			continue
+		}
+		if len(c.Triggers) < 8 {
+			t.Errorf("%s/%s: only %d trigger points (want >= 8)", c.Workload, c.Algorithm, len(c.Triggers))
+		}
+		captures := 0
+		for _, tr := range c.Triggers {
+			if tr.CaptureVT > 0 {
+				captures++
+			}
+		}
+		if captures < 8 {
+			t.Errorf("%s/%s: only %d triggers actually captured", c.Workload, c.Algorithm, captures)
+		}
+	}
+	if m.Failed() {
+		t.Fatalf("conformance failures:\n%s", m.String())
+	}
+	if !testing.Short() {
+		// The only skip in the full matrix must be the paper's "NA" cell.
+		if skips != 1 {
+			t.Errorf("expected exactly one skipped case (poisson/2pc), got %d", skips)
+		}
+		wantCases := len(apps.Names) * 2
+		if len(m.Cases) != wantCases {
+			t.Errorf("matrix has %d cases, want %d", len(m.Cases), wantCases)
+		}
+	}
+}
+
+// TestCorruptionDetected is the engine's negative control: an intentionally
+// corrupted restore must surface as a restore error or a digest mismatch —
+// never as a clean pass.
+func TestCorruptionDetected(t *testing.T) {
+	wl := "comd"
+	if err := VerifyCorruptionDetected(wl, rt.AlgoCC, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenDigestDeterministic: the digest must be a pure function of the
+// program, not of host scheduling — otherwise every comparison in the
+// engine is noise.
+func TestGoldenDigestDeterministic(t *testing.T) {
+	o := Options{}
+	o = o.withDefaults()
+	r1, _, err := golden(&o, "lammps", rt.AlgoCC, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := golden(&o, "lammps", rt.AlgoCC, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.StateDigest != r2.StateDigest {
+		t.Fatalf("same program, different digests: %s vs %s", r1.StateDigest, r2.StateDigest)
+	}
+	if r1.RankSteps[0] != r2.RankSteps[0] {
+		t.Fatalf("same program, different step counts: %d vs %d", r1.RankSteps[0], r2.RankSteps[0])
+	}
+}
+
+// TestDigestCrossAlgorithm: the final state must not depend on which
+// checkpointing algorithm interposed on the run.
+func TestDigestCrossAlgorithm(t *testing.T) {
+	o := Options{}
+	o = o.withDefaults()
+	cc, _, err := golden(&o, "comd", rt.AlgoCC, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, _, err := golden(&o, "comd", rt.Algo2PC, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, _, err := golden(&o, "comd", rt.AlgoNative, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.StateDigest != tp.StateDigest || cc.StateDigest != native.StateDigest {
+		t.Fatalf("algorithms disagree on final state: cc=%.12s 2pc=%.12s native=%.12s",
+			cc.StateDigest, tp.StateDigest, native.StateDigest)
+	}
+}
+
+func TestSweepPoints(t *testing.T) {
+	cases := []struct {
+		steps      int64
+		minT, maxT int
+		wantLen    int // 0 = just check bounds
+	}{
+		{steps: 1, minT: 8, maxT: 16, wantLen: 0},
+		{steps: 2, minT: 8, maxT: 16, wantLen: 1},
+		{steps: 10, minT: 8, maxT: 16, wantLen: 9},  // exhaustive: 1..9
+		{steps: 17, minT: 8, maxT: 16, wantLen: 16}, // exhaustive: 1..16
+		{steps: 1000, minT: 8, maxT: 16},            // stratified
+	}
+	for _, c := range cases {
+		pts := sweepPoints(c.steps, c.minT, c.maxT)
+		if c.wantLen > 0 && len(pts) != c.wantLen {
+			t.Errorf("sweepPoints(%d): got %d points, want %d", c.steps, len(pts), c.wantLen)
+		}
+		seen := map[int]bool{}
+		prev := 0
+		for _, p := range pts {
+			if p < 1 || int64(p) >= c.steps {
+				t.Errorf("sweepPoints(%d): point %d out of range", c.steps, p)
+			}
+			if p <= prev {
+				t.Errorf("sweepPoints(%d): not strictly increasing at %d", c.steps, p)
+			}
+			if seen[p] {
+				t.Errorf("sweepPoints(%d): duplicate point %d", c.steps, p)
+			}
+			seen[p] = true
+			prev = p
+		}
+		if c.steps > 20 && len(pts) < c.minT {
+			t.Errorf("sweepPoints(%d): %d points < min %d", c.steps, len(pts), c.minT)
+		}
+	}
+}
+
+// TestSkipsNA: the 2PC x non-blocking-collectives cell must be skipped, not
+// failed (the paper's Table 1 "NA").
+func TestSkipsNA(t *testing.T) {
+	cr, err := RunCase("poisson", rt.Algo2PC, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Skipped {
+		t.Fatal("poisson/2pc should be skipped")
+	}
+}

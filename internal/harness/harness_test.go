@@ -128,6 +128,9 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment-harness regeneration; run without -short")
+	}
 	o := tinyOptions()
 	tb, err := Table1(o)
 	if err != nil {
@@ -161,6 +164,9 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment-harness regeneration; run without -short")
+	}
 	o := tinyOptions()
 	tb, err := Fig7(o)
 	if err != nil {
@@ -205,6 +211,9 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment-harness regeneration; run without -short")
+	}
 	o := tinyOptions()
 	o.MaxProcs = 128
 	o.PPN = 32
@@ -239,6 +248,9 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment-harness regeneration; run without -short")
+	}
 	o := tinyOptions()
 	for _, name := range []string{"drain", "barrier", "network", "pollinterval"} {
 		tb, err := Experiments[name](o)

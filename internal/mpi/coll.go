@@ -73,6 +73,7 @@ func (s *collSlot) register(i int, vt float64, payload []byte) {
 	s.cond.Broadcast()
 	full, nb := s.full, s.nb
 	s.mu.Unlock()
+	s.core.w.NoteActivity()
 	if full && nb {
 		// Non-blocking instance just became completable: wake the members'
 		// mailboxes so any rank blocked in Wait re-evaluates its request.
@@ -82,28 +83,33 @@ func (s *collSlot) register(i int, vt float64, payload []byte) {
 	}
 }
 
-// waitFull blocks until every member has entered.
+// waitFull blocks until every member has entered. The deferred unlock is
+// load-bearing: checkAbort panics out of the loop, and a leaked slot mutex
+// would wedge every other member blocked on the same slot beyond even the
+// watchdog's reach.
 func (s *collSlot) waitFull() {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	for !s.full {
+		s.core.w.checkAbort()
 		s.cond.Wait()
 	}
-	s.mu.Unlock()
 }
 
 // waitInitiated is waitFull under its request-facing name: a non-blocking
 // collective cannot complete until all participants initiated it.
 func (s *collSlot) waitInitiated() { s.waitFull() }
 
-// waitRootArrived blocks until the root's entry has been recorded.
+// waitRootArrived blocks until the root's entry has been recorded. The
+// deferred unlock matters for the same reason as in waitFull.
 func (s *collSlot) waitRootArrived() float64 {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	for s.entries[s.spec.Root] < 0 {
+		s.core.w.checkAbort()
 		s.cond.Wait()
 	}
-	vt := s.entries[s.spec.Root]
-	s.mu.Unlock()
-	return vt
+	return s.entries[s.spec.Root]
 }
 
 // completionFor reports the completion time of a non-blocking instance for
@@ -265,6 +271,8 @@ func (c *Comm) blockingExit(s *collSlot) float64 {
 // caller's result payload.
 func (c *Comm) finishBlocking(s *collSlot) []byte {
 	i := c.myRank
+	c.p.SetWaitSite("collective")
+	defer c.p.SetWaitSite("")
 	c.p.Clk.SyncTo(c.blockingExit(s))
 
 	var res []byte

@@ -102,6 +102,7 @@ func (c *Comm) Isend(dst, tag int, data []byte) *Request {
 // deliver places msg in the destination mailbox, matching a posted receive
 // if one fits (first posted wins, preserving non-overtaking order).
 func (c *Comm) deliver(dstWorld int, msg *message) {
+	c.p.w.NoteActivity()
 	mb := c.p.w.mail[dstWorld]
 	mb.mu.Lock()
 	for i, pr := range mb.posted {
@@ -278,6 +279,7 @@ func (w *World) InjectDrained(rank int, msgs []InflightSnapshot, atVT float64) {
 		})
 	}
 	mb.cond.Broadcast()
+	w.NoteActivity()
 }
 
 // PendingPosted reports how many posted-but-unmatched receives the rank has;

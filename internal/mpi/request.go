@@ -56,6 +56,7 @@ func (r *Request) complete(vt float64, st Status) {
 	r.status = st
 	r.cond.Broadcast()
 	r.mu.Unlock()
+	r.p.w.NoteActivity()
 }
 
 // Done reports (without charging any cost or blocking) whether the request
@@ -118,6 +119,8 @@ func (r *Request) Test() bool {
 func (r *Request) Wait() Status {
 	r.p.Ct.Waits++
 	r.p.Clk.Advance(r.p.w.Model.P.CallOverhead)
+	r.p.SetWaitSite("request-wait")
+	defer r.p.SetWaitSite("")
 	r.p.WaitUntil(func() bool { return r.Done() })
 	r.mu.Lock()
 	vt, st := r.completeVT, r.status

@@ -27,6 +27,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mana/internal/netmodel"
 	"mana/internal/trace"
@@ -51,6 +52,13 @@ type World struct {
 
 	mu    sync.Mutex
 	cores map[uint64]*commCore // interned child communicators by id
+
+	// Deadlock watchdog and abort machinery (see watchdog.go).
+	activity   atomic.Uint64
+	abortMu    sync.Mutex
+	abortErr   error
+	abortHooks []func()
+	abortCh    chan struct{}
 }
 
 // NewWorld creates a world of n ranks with the given model. It panics on a
@@ -59,7 +67,7 @@ func NewWorld(n int, model *netmodel.Model) *World {
 	if n <= 0 {
 		panic(fmt.Sprintf("mpi: invalid world size %d", n))
 	}
-	w := &World{N: n, Model: model}
+	w := &World{N: n, Model: model, abortCh: make(chan struct{})}
 	w.procs = make([]*Proc, n)
 	w.mail = make([]*mailbox, n)
 	for i := 0; i < n; i++ {
@@ -115,6 +123,10 @@ type Proc struct {
 	Clk Clock
 	// Ct accumulates the rank's call/byte counters.
 	Ct *trace.Counters
+
+	// waitSite labels what the rank is currently blocked on, for the
+	// deadlock watchdog's diagnostic dump.
+	waitSite atomic.Value // string
 }
 
 // Rank returns the world rank.
@@ -124,7 +136,13 @@ func (p *Proc) Rank() int { return p.rank }
 func (p *Proc) World() *World { return p.w }
 
 // Compute charges d seconds of application computation to the rank.
-func (p *Proc) Compute(d float64) { p.Clk.Advance(d) }
+func (p *Proc) Compute(d float64) {
+	p.Clk.Advance(d)
+	p.w.NoteActivity()
+}
+
+// SetWaitSite labels what this rank is blocked on (see World.SetWaitSite).
+func (p *Proc) SetWaitSite(site string) { p.waitSite.Store(site) }
 
 // WaitUntil blocks the rank until pred() reports true. pred is evaluated
 // under the rank's mailbox lock, so it may inspect state that message
@@ -135,6 +153,7 @@ func (p *Proc) WaitUntil(pred func() bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for !pred() {
+		p.w.checkAbort()
 		mb.cond.Wait()
 	}
 }

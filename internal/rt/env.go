@@ -172,6 +172,8 @@ func (e *Env) WaitAll(ids ...int) {
 	if len(ids) == 0 {
 		ids = append([]int(nil), e.reqOrd...)
 	}
+	e.p.SetWaitSite("waitall")
+	defer e.p.SetWaitSite("")
 	for _, id := range ids {
 		en, ok := e.reqs[id]
 		if !ok {

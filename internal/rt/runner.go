@@ -1,11 +1,15 @@
 package rt
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mana/internal/ckpt"
 	"mana/internal/core"
@@ -27,6 +31,13 @@ type CkptPlan struct {
 	// AtVT requests the (first) checkpoint when any rank's virtual clock
 	// first reaches this time (seconds).
 	AtVT float64
+	// AtStep, when positive, requests the checkpoint at the boundary where
+	// rank 0 has completed exactly AtStep application steps, instead of at a
+	// virtual time. Step counts are a deterministic property of the program,
+	// so two runs with the same AtStep raise the request at the identical
+	// point in rank 0's execution — the trigger the conformance engine
+	// sweeps. AtStep takes precedence over AtVT.
+	AtStep int
 	// Every, when positive, requests further checkpoints at this virtual
 	// period after each capture — the production pattern of periodic
 	// checkpoints during a long run. Only meaningful with
@@ -46,6 +57,12 @@ type Config struct {
 	Params     netmodel.Params
 	Algorithm  string // AlgoNative, Algo2PC, or AlgoCC
 	Checkpoint *CkptPlan
+
+	// StallTimeout configures the deadlock watchdog: if no simulator
+	// progress happens for this long the run is aborted with a per-rank
+	// wait-site diagnostic instead of hanging. Zero selects
+	// mpi.DefaultStallTimeout; a negative value disables the watchdog.
+	StallTimeout time.Duration
 }
 
 // Report summarizes one run.
@@ -69,6 +86,17 @@ type Report struct {
 
 	// Completed is false when the job exited at a checkpoint (ExitAfterCapture).
 	Completed bool
+
+	// RankSteps counts the application steps each rank completed; the
+	// conformance engine derives its trigger sweep from rank 0's count.
+	RankSteps []int64
+
+	// StateDigest is a canonical hash of every rank's final application
+	// snapshot, set only when the job ran to completion without errors.
+	// Two runs of the same deterministic program — with or without a
+	// checkpoint/restart in between — must produce identical digests; this
+	// is the equality the conformance engine checks.
+	StateDigest string
 }
 
 // newAlgorithm wires up the requested algorithm.
@@ -126,17 +154,37 @@ func runJob(cfg Config, w *mpi.World, coord *ckpt.Coordinator, factory func(rank
 		errMu    sync.Mutex
 		appName  atomic.Value
 
+		// Per-rank results, each written only by its own rank goroutine and
+		// read after wg.Wait.
+		rankSteps = make([]int64, cfg.Ranks)
+		finalSnap = make([][]byte, cfg.Ranks)
+
 		// Checkpoint scheduling: the next request time, advanced by Every
 		// after each successful request (periodic checkpointing).
-		ckptMu     sync.Mutex
-		nextCkptVT = math.Inf(1)
+		ckptMu      sync.Mutex
+		nextCkptVT  = math.Inf(1)
+		atStepFired = false
 	)
-	if cfg.Checkpoint != nil {
+	if cfg.Checkpoint != nil && cfg.Checkpoint.AtStep <= 0 {
 		nextCkptVT = cfg.Checkpoint.AtVT
 	}
-	maybeRequest := func(now float64) {
+	maybeRequest := func(rank int, now float64, stepsDone int64) {
 		ckptMu.Lock()
 		defer ckptMu.Unlock()
+		if plan := cfg.Checkpoint; plan.AtStep > 0 && !atStepFired {
+			// Deterministic step-indexed trigger: raised by rank 0 at the
+			// boundary after its AtStep-th completed step.
+			if rank != 0 || stepsDone < int64(plan.AtStep) {
+				return
+			}
+			if coord.RequestCheckpoint(now) {
+				atStepFired = true
+				if plan.Every > 0 && plan.Mode == ckpt.ContinueAfterCapture {
+					nextCkptVT = now + plan.Every
+				}
+			}
+			return
+		}
 		if now < nextCkptVT {
 			return
 		}
@@ -155,6 +203,26 @@ func runJob(cfg Config, w *mpi.World, coord *ckpt.Coordinator, factory func(rank
 		}
 		errMu.Unlock()
 	}
+
+	// Deadlock watchdog: a wedged job aborts with per-rank wait sites and the
+	// coordinator's drain state instead of hanging the host until -timeout.
+	if cfg.StallTimeout >= 0 {
+		stopWatchdog := w.StartWatchdog(cfg.StallTimeout, coord.DebugString)
+		defer stopWatchdog()
+	}
+
+	// Startup barrier: every rank must have created its protocol instance and
+	// finished Setup before any rank starts stepping. Without it, a fast rank
+	// can raise a checkpoint request while a slow rank's protocol state does
+	// not exist yet — the algorithm's target computation would read a nil
+	// rank. Real MPI synchronizes the same way inside MPI_Init.
+	var setupWG sync.WaitGroup
+	setupWG.Add(cfg.Ranks)
+	setupCh := make(chan struct{})
+	go func() {
+		setupWG.Wait()
+		close(setupCh)
+	}()
 
 	// Restart barrier: every rank must finish restoring its image — in
 	// particular re-injecting its drained in-flight messages — before ANY
@@ -175,15 +243,30 @@ func runJob(cfg Config, w *mpi.World, coord *ckpt.Coordinator, factory func(rank
 	for r := 0; r < cfg.Ranks; r++ {
 		wg.Add(1)
 		go func(rank int) {
+			var setupOnce sync.Once
+			markSetup := func() { setupOnce.Do(setupWG.Done) }
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					markSetup() // never strand peers at the startup barrier
 					if err, ok := p.(error); ok && errors.Is(err, errTerminated) {
 						return // checkpoint-and-exit unwind
 					}
+					if ab, ok := p.(mpi.AbortError); ok {
+						// The world was torn down (watchdog or a failed
+						// peer); the diagnostic error is already recorded
+						// by whoever aborted first.
+						recordErr(ab.Err)
+						coord.FinishRank(rank)
+						return
+					}
 					// Surface rank panics (erroneous MPI programs, contract
-					// violations) as run errors rather than crashing the host.
-					recordErr(fmt.Errorf("rank %d: panic: %v", rank, p))
+					// violations) as run errors rather than crashing the host,
+					// and tear down the world so peers blocked on this rank
+					// fail fast instead of deadlocking.
+					err := fmt.Errorf("rank %d: panic: %v", rank, p)
+					recordErr(err)
+					w.Abort(err)
 					coord.FinishRank(rank)
 				}
 			}()
@@ -207,10 +290,22 @@ func runJob(cfg Config, w *mpi.World, coord *ckpt.Coordinator, factory func(rank
 			env.inSetup = true
 			if err := app.Setup(env); err != nil {
 				recordErr(fmt.Errorf("rank %d setup: %w", rank, err))
+				w.Abort(err)
 				coord.FinishRank(rank)
 				return
 			}
 			env.inSetup = false
+
+			// Join the startup barrier (see above). An abort while waiting
+			// means a peer failed during setup.
+			markSetup()
+			p.SetWaitSite("startup-barrier")
+			select {
+			case <-setupCh:
+			case <-w.AbortChan():
+				panic(mpi.AbortError{Err: w.AbortErr()})
+			}
+			p.SetWaitSite("")
 
 			// Restart path: restore state, synchronize with all ranks, then
 			// resume the parked operation.
@@ -223,16 +318,31 @@ func runJob(cfg Config, w *mpi.World, coord *ckpt.Coordinator, factory func(rank
 				markRestored()
 				if err != nil {
 					recordErr(fmt.Errorf("rank %d restore: %w", rank, err))
+					w.Abort(err)
 					coord.FinishRank(rank)
 					return
 				}
-				<-restoredCh // all injections visible before anyone resumes
+				p.SetWaitSite("restore-barrier")
+				select {
+				case <-restoredCh: // all injections visible before anyone resumes
+				case <-w.AbortChan():
+					panic(mpi.AbortError{Err: w.AbortErr()})
+				}
+				p.SetWaitSite("")
 				if err := resumePending(env, ri); err != nil {
 					recordErr(fmt.Errorf("rank %d resume: %w", rank, err))
+					w.Abort(err)
 					coord.FinishRank(rank)
 					return
 				}
 				if ri.Desc.Kind == ckpt.ParkDone {
+					// The rank had already finished when the checkpoint was
+					// captured; its restored state is its final state.
+					if snap, err := app.Snapshot(); err == nil {
+						finalSnap[rank] = snap
+					} else {
+						recordErr(fmt.Errorf("rank %d final snapshot: %w", rank, err))
+					}
 					coord.FinishRank(rank)
 					return
 				}
@@ -240,7 +350,7 @@ func runJob(cfg Config, w *mpi.World, coord *ckpt.Coordinator, factory func(rank
 
 			for {
 				if cfg.Checkpoint != nil {
-					maybeRequest(p.Clk.Now())
+					maybeRequest(rank, p.Clk.Now(), rankSteps[rank])
 				}
 				env.stepBoundary()
 				if out := proto.AtBoundary(&ckpt.Descriptor{Kind: ckpt.ParkBoundary}); out == ckpt.Terminated {
@@ -249,14 +359,22 @@ func runJob(cfg Config, w *mpi.World, coord *ckpt.Coordinator, factory func(rank
 				more, err := app.Step(env)
 				if err != nil {
 					recordErr(fmt.Errorf("rank %d step: %w", rank, err))
+					w.Abort(err)
 					break
 				}
+				rankSteps[rank]++
 				if !more {
 					break
 				}
 			}
 			if out := proto.AtBoundary(&ckpt.Descriptor{Kind: ckpt.ParkDone}); out == ckpt.Terminated {
 				return
+			}
+			// Record the rank's final upper-half state for the job digest.
+			if snap, err := app.Snapshot(); err == nil {
+				finalSnap[rank] = snap
+			} else {
+				recordErr(fmt.Errorf("rank %d final snapshot: %w", rank, err))
 			}
 			coord.FinishRank(rank)
 		}(r)
@@ -269,6 +387,7 @@ func runJob(cfg Config, w *mpi.World, coord *ckpt.Coordinator, factory func(rank
 		PPN:       cfg.PPN,
 		RuntimeVT: w.MaxTime(),
 		Completed: !coord.Terminated(),
+		RankSteps: rankSteps,
 	}
 	if n, ok := appName.Load().(string); ok {
 		rep.App = n
@@ -277,6 +396,13 @@ func runJob(cfg Config, w *mpi.World, coord *ckpt.Coordinator, factory func(rank
 		rep.Counters.Add(w.Proc(r).Ct)
 	}
 	rep.Rates = trace.RatesOf(&rep.Counters, cfg.Ranks, rep.RuntimeVT)
+
+	errMu.Lock()
+	jobErr := firstErr
+	errMu.Unlock()
+	if rep.Completed && jobErr == nil {
+		rep.StateDigest = digestOf(finalSnap)
+	}
 
 	if image, stats, err := coord.Result(); image != nil {
 		if cfg.Checkpoint != nil {
@@ -295,6 +421,22 @@ func runJob(cfg Config, w *mpi.World, coord *ckpt.Coordinator, factory func(rank
 	errMu.Lock()
 	defer errMu.Unlock()
 	return rep, firstErr
+}
+
+// digestOf hashes every rank's final snapshot into one canonical job digest.
+// Snapshots are length-prefixed so rank boundaries cannot alias.
+func digestOf(snaps [][]byte) string {
+	h := sha256.New()
+	var pfx [8]byte
+	for _, s := range snaps {
+		if s == nil {
+			return "" // a rank produced no snapshot: no meaningful digest
+		}
+		binary.LittleEndian.PutUint64(pfx[:], uint64(len(s)))
+		h.Write(pfx[:])
+		h.Write(s)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Restart rebuilds a job from a checkpoint image — a fresh world (the new

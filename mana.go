@@ -35,6 +35,26 @@
 //
 // Custom applications implement the App interface (see its documentation
 // for the checkpointing contract) and talk to MPI through Env.
+//
+// # Verifying correctness
+//
+// The checkpoint-anywhere conformance engine (internal/conformance, driven
+// by cmd/ccverify) turns the paper's central claim into an executable check:
+// for every registered workload and both checkpointing algorithms it runs
+// the job uninterrupted to a golden final-state digest, then re-runs it with
+// a checkpoint-and-restart injected at each point of a sweep over rank 0's
+// step index, asserting the restarted run's digest is bitwise-identical and
+// the drain stays within a bounded virtual-time budget:
+//
+//	go run ./cmd/ccverify                 # full matrix + negative test
+//	go run ./cmd/ccverify -workloads vasp -algos cc -v
+//
+// The sweep uses CkptPlan.AtStep, a deterministic step-indexed trigger, and
+// Report.StateDigest, a canonical hash of every rank's final snapshot. A
+// negative mode corrupts a captured image and confirms the corruption is
+// detected. Runs are guarded by a deadlock watchdog (Config.StallTimeout):
+// a wedged job aborts with per-rank wait-site diagnostics instead of
+// hanging. The same matrix runs in CI via "go test ./internal/conformance".
 package mana
 
 import (
