@@ -1,36 +1,86 @@
-// Command ccimg inspects a checkpoint image: job geometry, capture time,
-// per-rank park kinds, pending operations, image sizes, and drained
-// in-flight messages. The restart analog of `file`/`readelf` for MANA
-// images — useful for verifying what state a checkpoint actually captured.
+// Command ccimg inspects and verifies checkpoint images — the restart
+// analog of `file`/`readelf` for MANA images.
 //
-//	ccimg /tmp/job.img
-//	ccimg -v /tmp/job.img   # per-rank detail
+//	ccimg info [-v] <image>      job geometry, park census, shard table
+//	ccimg verify <image>         per-shard integrity check (exit 1 on fault)
+//	ccimg extract -rank N [-o out.shard] <image>
+//	                             decode one rank's shard without the job
+//
+// Bare `ccimg [-v] <image>` is shorthand for `ccimg info`. Both the v2
+// sharded format and legacy v1 monolithic images are accepted; shard-level
+// operations degrade gracefully on v1 (verify checks the single whole-image
+// checksum, extract decodes the whole image first).
 package main
 
 import (
+	"encoding/gob"
 	"flag"
 	"fmt"
 	"os"
 
-	"mana"
 	"mana/internal/ckpt"
 	"mana/internal/netmodel"
 )
 
 func main() {
-	verbose := flag.Bool("v", false, "per-rank detail")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ccimg [-v] <image-file>")
-		os.Exit(2)
+	args := os.Args[1:]
+	cmd := "info"
+	if len(args) > 0 {
+		switch args[0] {
+		case "info", "verify", "extract":
+			cmd, args = args[0], args[1:]
+		}
 	}
-	img, err := mana.LoadImage(flag.Arg(0))
+	var err error
+	switch cmd {
+	case "info":
+		err = runInfo(args)
+	case "verify":
+		err = runVerify(args)
+	case "extract":
+		err = runExtract(args)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccimg:", err)
 		os.Exit(1)
 	}
+}
 
-	fmt.Printf("checkpoint image: %s\n", flag.Arg(0))
+// readImage loads the raw encoded image; decoding is per-command (verify
+// must see the raw bytes, info wants the manifest before the full decode).
+func readImage(fs *flag.FlagSet, usage string) ([]byte, string, error) {
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage:", usage)
+		os.Exit(2)
+	}
+	path := fs.Arg(0)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, path, err
+	}
+	return blob, path, nil
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "per-rank detail")
+	fs.Parse(args)
+	blob, path, err := readImage(fs, "ccimg info [-v] <image-file>")
+	if err != nil {
+		return err
+	}
+	img, err := ckpt.DecodeJobImage(blob)
+	if err != nil {
+		return err
+	}
+	man, _ := ckpt.DecodeManifest(blob) // nil for v1 images
+
+	fmt.Printf("checkpoint image: %s\n", path)
+	format := "v1 (monolithic)"
+	if man != nil {
+		format = fmt.Sprintf("v2 (sharded, %d shards)", len(man.Shards))
+	}
+	fmt.Printf("  format:      %s\n", format)
 	fmt.Printf("  algorithm:   %s\n", img.Algorithm)
 	fmt.Printf("  ranks:       %d (%d per node, %d nodes)\n",
 		img.Ranks, img.PPN, (img.Ranks+img.PPN-1)/img.PPN)
@@ -40,6 +90,18 @@ func main() {
 		fmt.Printf(" (padded to %d per rank)", img.PaddedBytesPerRank)
 	}
 	fmt.Println()
+	if man != nil {
+		var comp, raw int64
+		for _, s := range man.Shards {
+			comp += s.Size
+			raw += s.RawSize
+		}
+		ratio := 0.0
+		if raw > 0 {
+			ratio = float64(comp) / float64(raw)
+		}
+		fmt.Printf("  shard data:  %d bytes compressed from %d (ratio %.2f)\n", comp, raw, ratio)
+	}
 
 	parks := map[ckpt.ParkKind]int{}
 	var inflight, inflightBytes, pendingRecvs int
@@ -68,22 +130,89 @@ func main() {
 	if *verbose {
 		fmt.Println()
 		for i := range img.Images {
-			ri := &img.Images[i]
-			fmt.Printf("rank %4d: park=%-14s app=%dB proto=%dB clock=%.6fs\n",
-				ri.Rank, ri.Desc.Kind, len(ri.App), len(ri.Proto), ri.ClockVT)
-			if ri.Desc.Coll != nil {
-				c := ri.Desc.Coll
-				fmt.Printf("           pending collective: %v on comm vid %d (root %d, bufs %q/%q)\n",
-					netmodel.CollKind(c.Kind), c.CommVID, c.Root, c.InBufID, c.OutBufID)
-			}
-			for _, rd := range ri.Desc.Recvs {
-				fmt.Printf("           pending recv: comm vid %d src %d tag %d -> %s[%d:%d]\n",
-					rd.CommVID, rd.Src, rd.Tag, rd.BufID, rd.Off, rd.Off+rd.Len)
-			}
-			for _, m := range ri.Inflight {
-				fmt.Printf("           in-flight: comm %d from %d tag %d (%d bytes)\n",
-					m.CommID, m.SrcComm, m.Tag, len(m.Data))
-			}
+			printRank(&img.Images[i])
 		}
 	}
+	return nil
+}
+
+func printRank(ri *ckpt.RankImage) {
+	fmt.Printf("rank %4d: park=%-14s app=%dB proto=%dB clock=%.6fs\n",
+		ri.Rank, ri.Desc.Kind, len(ri.App), len(ri.Proto), ri.ClockVT)
+	if ri.Desc.Coll != nil {
+		c := ri.Desc.Coll
+		if c.Bench || c.VirtSize > 0 {
+			fmt.Printf("           pending collective: %v on comm vid %d (root %d, bench size %d)\n",
+				netmodel.CollKind(c.Kind), c.CommVID, c.Root, c.VirtSize)
+		} else {
+			fmt.Printf("           pending collective: %v on comm vid %d (root %d, bufs %q/%q)\n",
+				netmodel.CollKind(c.Kind), c.CommVID, c.Root, c.InBufID, c.OutBufID)
+		}
+	}
+	for _, rd := range ri.Desc.Recvs {
+		fmt.Printf("           pending recv: comm vid %d src %d tag %d -> %s[%d:%d]\n",
+			rd.CommVID, rd.Src, rd.Tag, rd.BufID, rd.Off, rd.Off+rd.Len)
+	}
+	for _, m := range ri.Inflight {
+		fmt.Printf("           in-flight: comm %d from %d tag %d (%d bytes)\n",
+			m.CommID, m.SrcComm, m.Tag, len(m.Data))
+	}
+}
+
+func runVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs.Parse(args)
+	blob, path, err := readImage(fs, "ccimg verify <image-file>")
+	if err != nil {
+		return err
+	}
+	faults, err := ckpt.VerifyImage(blob)
+	if err != nil {
+		return err
+	}
+	if man, err := ckpt.DecodeManifest(blob); err == nil {
+		fmt.Printf("%s: %d shards\n", path, len(man.Shards))
+	} else {
+		fmt.Printf("%s: v1 image (single checksum)\n", path)
+	}
+	if len(faults) == 0 {
+		fmt.Println("all shards verify: ok")
+		return nil
+	}
+	for _, f := range faults {
+		if f.Rank < 0 {
+			fmt.Printf("image FAULT: %v\n", f.Err)
+		} else {
+			fmt.Printf("rank %d shard FAULT: %v\n", f.Rank, f.Err)
+		}
+	}
+	return fmt.Errorf("%d shard(s) corrupted", len(faults))
+}
+
+func runExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	rank := fs.Int("rank", 0, "rank whose shard to extract")
+	out := fs.String("o", "", "write the decoded rank image (gob) to this file")
+	fs.Parse(args)
+	blob, _, err := readImage(fs, "ccimg extract -rank N [-o out] <image-file>")
+	if err != nil {
+		return err
+	}
+	ri, err := ckpt.ExtractRank(blob, *rank)
+	if err != nil {
+		return err
+	}
+	printRank(ri)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := gob.NewEncoder(f).Encode(ri); err != nil {
+			return fmt.Errorf("writing %s: %w", *out, err)
+		}
+		fmt.Printf("wrote decoded rank %d image to %s\n", *rank, *out)
+	}
+	return nil
 }

@@ -6,10 +6,16 @@
 // Usage:
 //
 //	ccverify [-ranks N] [-ppn N] [-scale F] [-workloads a,b] [-algos cc,2pc]
-//	         [-min-triggers N] [-max-triggers N] [-negative] [-v]
+//	         [-min-triggers N] [-max-triggers N] [-negative] [-crossgeo] [-v]
 //
-// The exit status is non-zero if any trigger point fails, making ccverify
-// directly usable as a CI gate.
+// Beyond the trigger matrix, the default run also verifies (on the first
+// runnable case) that a checkpoint restarts correctly onto a different
+// ranks-per-node geometry (-crossgeo, the allocation-chaining scenario) and
+// that corruption — both of a decoded snapshot and of a single shard inside
+// the encoded sharded image — is detected and attributed (-negative).
+//
+// The exit status is non-zero if any check fails, making ccverify directly
+// usable as a CI gate.
 package main
 
 import (
@@ -32,7 +38,8 @@ func main() {
 		algos       = flag.String("algos", "cc,2pc", "comma-separated algorithms")
 		minTriggers = flag.Int("min-triggers", 8, "minimum checkpoint trigger points per case")
 		maxTriggers = flag.Int("max-triggers", 16, "trigger sweep cap (stratified sampling beyond)")
-		negative    = flag.Bool("negative", true, "also verify that a corrupted image is detected")
+		negative    = flag.Bool("negative", true, "also verify that corrupted images (snapshot and per-shard) are detected")
+		crossgeo    = flag.Bool("crossgeo", true, "also verify restart onto different ranks-per-node geometries")
 		verbose     = flag.Bool("v", false, "log every trigger point")
 	)
 	flag.Parse()
@@ -66,25 +73,32 @@ func main() {
 	fmt.Print(matrix.String())
 
 	failed := matrix.Failed()
-	if *negative {
-		// Run the corruption check on the first case the matrix actually
-		// executed (a skipped NA cell has no image to corrupt).
-		ran := false
+
+	// The auxiliary sweeps run on the first case the matrix actually
+	// executed (a skipped NA cell has no image to work with), sharing one
+	// captured checkpoint across all of them.
+	if *negative || *crossgeo {
+		var wl, algo string
 		for _, c := range matrix.Cases {
-			if c.Skipped {
-				continue
+			if !c.Skipped {
+				wl, algo = c.Workload, c.Algorithm
+				break
 			}
-			ran = true
-			if err := conformance.VerifyCorruptionDetected(c.Workload, c.Algorithm, opts); err != nil {
-				fmt.Printf("negative check (%s/%s): FAIL: %v\n", c.Workload, c.Algorithm, err)
-				failed = true
-			} else {
-				fmt.Printf("negative check (%s/%s): corrupted image detected, ok\n", c.Workload, c.Algorithm)
-			}
-			break
 		}
-		if !ran {
-			fmt.Println("negative check: skipped (no runnable case in the matrix)")
+		if wl == "" {
+			fmt.Println("auxiliary checks: skipped (no runnable case in the matrix)")
+		} else if verdicts, err := conformance.VerifyAuxSuite(wl, algo, opts, *negative, *crossgeo); err != nil {
+			fmt.Printf("auxiliary checks (%s/%s): FAIL: %v\n", wl, algo, err)
+			failed = true
+		} else {
+			for _, v := range verdicts {
+				if v.Err != nil {
+					fmt.Printf("%s check (%s/%s): FAIL: %v\n", v.Name, wl, algo, v.Err)
+					failed = true
+				} else {
+					fmt.Printf("%s check (%s/%s): %s\n", v.Name, wl, algo, v.OK)
+				}
+			}
 		}
 	}
 

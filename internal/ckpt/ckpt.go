@@ -19,15 +19,16 @@
 // The safe state being sought is the paper's (§4.1): no rank inside a
 // collective in the lower half (Invariant 1), and every started collective
 // completed by all members before capture (Invariant 2).
+//
+// Capture and serialization are built for scale: the coordinator snapshots
+// every rank concurrently (all ranks are parked, so per-rank state is frozen)
+// and the image is written in the v2 sharded format — one independently
+// compressed and checksummed shard per rank behind a job manifest — encoded
+// and decoded across GOMAXPROCS workers (see image.go). Legacy v1 monolithic
+// images still decode.
 package ckpt
 
 import (
-	"bytes"
-	"encoding/binary"
-	"encoding/gob"
-	"fmt"
-	"hash/fnv"
-
 	"mana/internal/mpi"
 )
 
@@ -84,9 +85,14 @@ type CollDesc struct {
 	OutBufID string // named buffer receiving the result ("" if none)
 	BufOff   int    // offset/length into the named buffers (0,0 = whole)
 	BufLen   int
-	// VirtSize marks a size-only benchmark collective (no data movement);
-	// when positive, buffers are ignored and the op is re-issued sized.
+	// VirtSize is the per-rank payload size of a size-only benchmark
+	// collective (no data movement). Meaningful only with Bench.
 	VirtSize int
+	// Bench marks a size-only benchmark collective: on restart the op is
+	// re-issued sized (VirtSize may legitimately be 0) rather than through
+	// named buffers. v1 images predate this flag; decoding falls back to
+	// VirtSize > 0 for them.
+	Bench bool
 }
 
 // RecvDesc describes an incomplete posted receive: on restart it is
@@ -152,52 +158,6 @@ func (ji *JobImage) TotalBytes() int64 {
 		n += ji.Images[i].Bytes()
 	}
 	return n
-}
-
-// imageMagic identifies (and versions) the serialized image format. A
-// corrupted or truncated image must fail loudly at decode time, not as a
-// mysterious divergence after restart.
-var imageMagic = []byte("MANAIMG1")
-
-// Encode serializes the job image: a magic/version header, an FNV-1a
-// integrity checksum, and the gob payload.
-func (ji *JobImage) Encode() ([]byte, error) {
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(ji); err != nil {
-		return nil, fmt.Errorf("ckpt: encoding job image: %w", err)
-	}
-	h := fnv.New64a()
-	h.Write(payload.Bytes())
-	out := make([]byte, 0, len(imageMagic)+8+payload.Len())
-	out = append(out, imageMagic...)
-	var sum [8]byte
-	binary.LittleEndian.PutUint64(sum[:], h.Sum64())
-	out = append(out, sum[:]...)
-	out = append(out, payload.Bytes()...)
-	return out, nil
-}
-
-// DecodeJobImage deserializes a job image produced by Encode, verifying the
-// header and integrity checksum.
-func DecodeJobImage(data []byte) (*JobImage, error) {
-	if len(data) < len(imageMagic)+8 {
-		return nil, fmt.Errorf("ckpt: image truncated (%d bytes)", len(data))
-	}
-	if !bytes.Equal(data[:len(imageMagic)], imageMagic) {
-		return nil, fmt.Errorf("ckpt: not a checkpoint image (bad magic)")
-	}
-	want := binary.LittleEndian.Uint64(data[len(imageMagic):])
-	payload := data[len(imageMagic)+8:]
-	h := fnv.New64a()
-	h.Write(payload)
-	if got := h.Sum64(); got != want {
-		return nil, fmt.Errorf("ckpt: image corrupted (checksum %x, want %x)", got, want)
-	}
-	var ji JobImage
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ji); err != nil {
-		return nil, fmt.Errorf("ckpt: decoding job image: %w", err)
-	}
-	return &ji, nil
 }
 
 // CommInfo describes one communicator to the protocols: the underlying

@@ -2,8 +2,10 @@ package ckpt
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mana/internal/mpi"
 )
@@ -47,9 +49,17 @@ type CheckpointStats struct {
 	ImageBytes int64
 	WriteVT    float64 // modeled storage write time charged to the job
 
-	// Drain-progress counters, summed across ranks at capture time. The
-	// conformance engine asserts on them: a CC drain must balance its target
-	// updates, and the park census must account for every rank.
+	// CaptureHostSeconds is the wall-clock (host, not virtual) time the
+	// coordinator spent building this checkpoint's job image — the quantity
+	// the parallel capture fan-out shrinks. Purely observational.
+	CaptureHostSeconds float64
+
+	// Drain-progress counters, summed across ranks at capture time and
+	// reported as per-checkpoint deltas against their values when THIS
+	// checkpoint's request was raised — with periodic (chained) checkpoints,
+	// checkpoint k's stats cover only checkpoint k's drain. The conformance
+	// engine asserts on them: a CC drain must balance its target updates, and
+	// the park census must account for every rank.
 	TargetUpdatesSent int64 // CC target-update messages sent during the drain
 	TargetUpdatesRecv int64 // CC target-update messages consumed
 	DrainTests        int64 // non-blocking completion tests while draining
@@ -78,6 +88,18 @@ type Coordinator struct {
 	Algo Algorithm
 	Mode Mode
 
+	// CaptureWorkers bounds the per-rank snapshot fan-out at capture time.
+	// Zero selects GOMAXPROCS; one forces the serial path (benchmarks use it
+	// as the baseline). Every rank is parked during capture, so per-rank
+	// snapshots are race-free by construction and can run concurrently.
+	CaptureWorkers int
+
+	// PaddedBytesPerRank, when positive, is stamped into every captured
+	// image and drives the storage model (reproducing the paper's image
+	// sizes). Owned here so that with periodic checkpointing every capture —
+	// not just the last — charges and records the padded size.
+	PaddedBytesPerRank int64
+
 	pending atomic.Bool // fast-path flag read in every wrapper
 
 	mu        sync.Mutex
@@ -88,6 +110,11 @@ type Coordinator struct {
 	doneRanks []bool
 	hooks     []RankHooks
 	requestVT float64
+
+	// Cumulative drain-counter totals at the time the current request was
+	// raised; captureLocked reports deltas against them so chained
+	// checkpoints don't double-count earlier drains.
+	baseSent, baseRecv, baseTests int64
 
 	image   *JobImage
 	stats   CheckpointStats
@@ -162,6 +189,11 @@ func (c *Coordinator) RequestCheckpoint(vt float64) bool {
 	c.requestVT = vt
 	c.image = nil
 	c.err = nil
+	// Baseline the cumulative drain counters at request time: this
+	// checkpoint's stats will be the deltas accrued by its own drain. The
+	// counters only move while a request is pending (all writes precede the
+	// writer's park, which acquires c.mu), so reading them here is ordered.
+	c.baseSent, c.baseRecv, c.baseTests = c.drainTotals()
 	c.mu.Unlock()
 
 	c.Algo.OnCheckpointRequest()
@@ -205,109 +237,151 @@ func (c *Coordinator) allParkedLocked() bool {
 	return true
 }
 
-// captureLocked builds the job image, charges storage time, verifies
-// invariants, and transitions to released/terminated. Caller holds c.mu.
-func (c *Coordinator) captureLocked() {
-	{
-		if err := c.Algo.VerifySafeState(); err != nil {
-			c.err = fmt.Errorf("ckpt: safe-state invariant violated: %w", err)
-		}
-
-		img := &JobImage{
-			Algorithm: c.Algo.Name(),
-			Ranks:     c.W.N,
-			PPN:       c.W.Model.PPN,
-			Images:    make([]RankImage, c.W.N),
-		}
-		var maxVT float64
-		for r := 0; r < c.W.N; r++ {
-			ri := RankImage{Rank: r}
-			if d := c.descs[r]; d != nil {
-				ri.Desc = *d
-			} else if c.doneRanks[r] {
-				ri.Desc = Descriptor{Kind: ParkDone}
-			}
-			if h := c.hooks[r]; h.PendingRecvs != nil {
-				// The authoritative list of incomplete receives is computed
-				// now, at capture time (a receive recorded at park time may
-				// have completed since).
-				ri.Desc.Recvs = h.PendingRecvs()
-				if posted := c.W.PendingPosted(r); posted != len(ri.Desc.Recvs) && c.err == nil {
-					c.err = fmt.Errorf("ckpt: rank %d has %d posted receives but %d descriptors",
-						r, posted, len(ri.Desc.Recvs))
-				}
-			}
-			if h := c.hooks[r]; h.AppSnapshot != nil {
-				app, err := h.AppSnapshot()
-				if err != nil && c.err == nil {
-					c.err = fmt.Errorf("ckpt: rank %d app snapshot: %w", r, err)
-				}
-				ri.App = app
-				proto, err := h.ProtoSnapshot()
-				if err != nil && c.err == nil {
-					c.err = fmt.Errorf("ckpt: rank %d protocol snapshot: %w", r, err)
-				}
-				ri.Proto = proto
-				ri.ClockVT = h.ClockVT()
-				if ri.ClockVT > maxVT {
-					maxVT = ri.ClockVT
-				}
-			}
-			// MANA's p2p drain: in-flight (sent, unreceived) messages become
-			// part of the receiver's upper half.
-			ri.Inflight = c.W.SnapshotInflight(r)
-			img.Images[r] = ri
-		}
-		img.CaptureVT = maxVT
-
-		c.stats = CheckpointStats{
-			RequestVT:  c.requestVT,
-			CaptureVT:  maxVT,
-			DrainVT:    maxVT - c.requestVT,
-			ImageBytes: img.TotalBytes(),
-		}
-		// Drain-progress census. Every live rank is blocked (parked on the
-		// coordinator condition or finished through FinishRank's lock), so
-		// reading its counters here is ordered by c.mu.
-		for r := 0; r < c.W.N; r++ {
-			ct := c.W.Proc(r).Ct
-			c.stats.TargetUpdatesSent += ct.TargetUpdatesSent
-			c.stats.TargetUpdatesRecv += ct.TargetUpdatesRecv
-			c.stats.DrainTests += ct.DrainTests
-			switch {
-			case c.descs[r] != nil && c.descs[r].Kind == ParkPreCollective:
-				c.stats.ParkedPreColl++
-			case c.descs[r] != nil && c.descs[r].Kind == ParkInBarrier:
-				c.stats.ParkedInBarrier++
-			case c.descs[r] != nil && c.descs[r].Kind == ParkInWait:
-				c.stats.ParkedInWait++
-			case c.doneRanks[r] || (c.descs[r] != nil && c.descs[r].Kind == ParkDone):
-				c.stats.DoneAtCapture++
-			}
-		}
-		nodes := (c.W.N + c.W.Model.PPN - 1) / c.W.Model.PPN
-		c.stats.WriteVT = c.W.Model.CheckpointWriteTime(img.TotalBytes(), nodes)
-		c.image = img
-		c.history = append(c.history, c.stats)
-
-		// Charge the checkpoint I/O to every rank and resynchronize clocks
-		// (the job stalls while images stream to storage).
-		resume := maxVT + c.stats.WriteVT
-		for r := 0; r < c.W.N; r++ {
-			if h := c.hooks[r]; h.SetClock != nil && !c.doneRanks[r] {
-				h.SetClock(resume)
-			}
-		}
-
-		c.pending.Store(false)
-		if c.Mode == ExitAfterCapture {
-			c.ph = phaseTerminated
-		} else {
-			c.ph = phaseReleased
-		}
-		c.cond.Broadcast()
-		c.W.NoteActivity()
+// drainTotals sums the cumulative drain counters over all ranks. Caller
+// holds c.mu (which orders the reads against the owning rank goroutines: a
+// drain-counter write always precedes the writer's park, and parking takes
+// the coordinator lock).
+func (c *Coordinator) drainTotals() (sent, recv, tests int64) {
+	for r := 0; r < c.W.N; r++ {
+		ct := c.W.Proc(r).Ct
+		sent += ct.TargetUpdatesSent
+		recv += ct.TargetUpdatesRecv
+		tests += ct.DrainTests
 	}
+	return sent, recv, tests
+}
+
+// captureRank builds one rank's image. Safe to run concurrently for distinct
+// ranks while the caller holds c.mu: every rank is parked (its state frozen),
+// each hook touches only its own rank, and the world accessors take per-rank
+// mailbox locks.
+func (c *Coordinator) captureRank(r int, img *JobImage) error {
+	ri := RankImage{Rank: r}
+	var firstErr error
+	if d := c.descs[r]; d != nil {
+		ri.Desc = *d
+	} else if c.doneRanks[r] {
+		ri.Desc = Descriptor{Kind: ParkDone}
+	}
+	if h := c.hooks[r]; h.PendingRecvs != nil {
+		// The authoritative list of incomplete receives is computed now, at
+		// capture time (a receive recorded at park time may have completed
+		// since).
+		ri.Desc.Recvs = h.PendingRecvs()
+		if posted := c.W.PendingPosted(r); posted != len(ri.Desc.Recvs) {
+			firstErr = fmt.Errorf("ckpt: rank %d has %d posted receives but %d descriptors",
+				r, posted, len(ri.Desc.Recvs))
+		}
+	}
+	if h := c.hooks[r]; h.AppSnapshot != nil {
+		app, err := h.AppSnapshot()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("ckpt: rank %d app snapshot: %w", r, err)
+		}
+		ri.App = app
+		proto, err := h.ProtoSnapshot()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("ckpt: rank %d protocol snapshot: %w", r, err)
+		}
+		ri.Proto = proto
+		ri.ClockVT = h.ClockVT()
+	}
+	// MANA's p2p drain: in-flight (sent, unreceived) messages become part of
+	// the receiver's upper half.
+	ri.Inflight = c.W.SnapshotInflight(r)
+	img.Images[r] = ri
+	return firstErr
+}
+
+// captureLocked builds the job image — snapshotting every rank concurrently
+// across CaptureWorkers (default GOMAXPROCS) workers — charges storage time,
+// verifies invariants, and transitions to released/terminated. Caller holds
+// c.mu, which freezes the parked-rank registry for the worker goroutines.
+func (c *Coordinator) captureLocked() {
+	captureStart := time.Now()
+	if err := c.Algo.VerifySafeState(); err != nil {
+		c.err = fmt.Errorf("ckpt: safe-state invariant violated: %w", err)
+	}
+
+	img := &JobImage{
+		Algorithm:          c.Algo.Name(),
+		Ranks:              c.W.N,
+		PPN:                c.W.Model.PPN,
+		PaddedBytesPerRank: c.PaddedBytesPerRank,
+		Images:             make([]RankImage, c.W.N),
+	}
+	workers := c.CaptureWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > c.W.N {
+		workers = c.W.N
+	}
+	rankErrs := make([]error, c.W.N)
+	fanOut(c.W.N, workers, func(r int) {
+		rankErrs[r] = c.captureRank(r, img)
+	})
+	var maxVT float64
+	for r := 0; r < c.W.N; r++ {
+		if rankErrs[r] != nil && c.err == nil {
+			c.err = rankErrs[r] // lowest-rank error wins, as in the serial path
+		}
+		if vt := img.Images[r].ClockVT; vt > maxVT {
+			maxVT = vt
+		}
+	}
+	img.CaptureVT = maxVT
+
+	c.stats = CheckpointStats{
+		RequestVT:          c.requestVT,
+		CaptureVT:          maxVT,
+		DrainVT:            maxVT - c.requestVT,
+		ImageBytes:         img.TotalBytes(),
+		CaptureHostSeconds: time.Since(captureStart).Seconds(),
+	}
+	// Drain-progress census, as per-checkpoint deltas against the request-
+	// time baselines (cumulative sums would fold every earlier chained
+	// checkpoint's drain into this one's stats). Every live rank is blocked
+	// (parked on the coordinator condition or finished through FinishRank's
+	// lock), so reading its counters here is ordered by c.mu.
+	sent, recv, tests := c.drainTotals()
+	c.stats.TargetUpdatesSent = sent - c.baseSent
+	c.stats.TargetUpdatesRecv = recv - c.baseRecv
+	c.stats.DrainTests = tests - c.baseTests
+	for r := 0; r < c.W.N; r++ {
+		switch {
+		case c.descs[r] != nil && c.descs[r].Kind == ParkPreCollective:
+			c.stats.ParkedPreColl++
+		case c.descs[r] != nil && c.descs[r].Kind == ParkInBarrier:
+			c.stats.ParkedInBarrier++
+		case c.descs[r] != nil && c.descs[r].Kind == ParkInWait:
+			c.stats.ParkedInWait++
+		case c.doneRanks[r] || (c.descs[r] != nil && c.descs[r].Kind == ParkDone):
+			c.stats.DoneAtCapture++
+		}
+	}
+	nodes := (c.W.N + c.W.Model.PPN - 1) / c.W.Model.PPN
+	c.stats.WriteVT = c.W.Model.CheckpointWriteTime(img.TotalBytes(), nodes)
+	c.image = img
+	c.history = append(c.history, c.stats)
+
+	// Charge the checkpoint I/O to every rank and resynchronize clocks
+	// (the job stalls while images stream to storage).
+	resume := maxVT + c.stats.WriteVT
+	for r := 0; r < c.W.N; r++ {
+		if h := c.hooks[r]; h.SetClock != nil && !c.doneRanks[r] {
+			h.SetClock(resume)
+		}
+	}
+
+	c.pending.Store(false)
+	if c.Mode == ExitAfterCapture {
+		c.ph = phaseTerminated
+	} else {
+		c.ph = phaseReleased
+	}
+	c.cond.Broadcast()
+	c.W.NoteActivity()
 }
 
 // ParkUntil parks the rank at a capturable point described by d. decide is

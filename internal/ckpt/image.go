@@ -1,0 +1,451 @@
+package ckpt
+
+// Checkpoint image serialization.
+//
+// Two on-disk formats are supported:
+//
+//   - v1 ("MANAIMG1"): the original monolithic format — one gob stream of the
+//     whole JobImage behind a single FNV-1a checksum. Still decoded for
+//     backward compatibility (EncodeV1 exists for tests and benchmarks).
+//
+//   - v2 ("MANAIMG2"): the sharded format. Every rank's RankImage is an
+//     independent shard — gob-encoded, flate-compressed, and FNV-1a
+//     checksummed on its own — referenced from a job manifest that carries
+//     the job geometry and the shard table (offset, size, checksum). Shards
+//     are encoded and decoded in parallel across GOMAXPROCS workers, a
+//     corrupted image is attributed to the specific rank shard that failed,
+//     and a single rank can be extracted without materializing the job
+//     (ExtractRank). This is the format MANA-style per-rank image files
+//     collapse into when the job image is a single blob.
+//
+// Layout of a v2 image:
+//
+//	[0:8)    magic "MANAIMG2"
+//	[8:12)   uint32 LE: manifest gob length M
+//	[12:20)  uint64 LE: FNV-1a checksum of the manifest gob
+//	[20:20+M) manifest gob (Manifest)
+//	[20+M:)  shard blobs, concatenated in manifest order
+//
+// Encode always emits v2; DecodeJobImage sniffs the magic and accepts both.
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Image format magics. A corrupted or truncated image must fail loudly at
+// decode time, not as a mysterious divergence after restart.
+var (
+	imageMagicV1 = []byte("MANAIMG1")
+	imageMagicV2 = []byte("MANAIMG2")
+)
+
+// shardCompression is the flate level applied to every shard. BestSpeed: the
+// pipeline is checksum- and copy-bound, and checkpoint images (gobs of
+// float-heavy application state) compress well even at the fastest level.
+const shardCompression = flate.BestSpeed
+
+// ShardInfo locates and authenticates one rank's shard inside a v2 image.
+type ShardInfo struct {
+	Rank     int
+	Offset   int64  // into the shard data section (after the manifest)
+	Size     int64  // compressed shard bytes
+	RawSize  int64  // gob bytes before compression
+	Checksum uint64 // FNV-1a over the compressed shard blob
+}
+
+// Manifest is the v2 job-level header: the geometry needed to rebuild the
+// lower half plus the shard table. It deliberately duplicates the JobImage
+// header fields so tools can inspect an image without touching shard data.
+type Manifest struct {
+	Algorithm          string
+	Ranks              int
+	PPN                int
+	CaptureVT          float64
+	PaddedBytesPerRank int64
+	Shards             []ShardInfo
+}
+
+// encodeWorkers bounds a fan-out at GOMAXPROCS (and at the job size).
+func encodeWorkers(jobs int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// fanOut runs fn(i) for i in [0, jobs) across workers goroutines. fn must be
+// safe to call concurrently for distinct i.
+func fanOut(jobs, workers int, fn func(i int)) {
+	if workers <= 1 || jobs <= 1 {
+		for i := 0; i < jobs; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= jobs {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// flateWriters recycles compressors across shards: a flate.Writer carries
+// megabyte-scale window state whose allocation would otherwise dominate the
+// encode of small shards (hundreds of ranks x one fresh writer each).
+var flateWriters = sync.Pool{}
+
+// encodeShard serializes one rank image: gob, then flate. Returns the
+// compressed blob and the raw (pre-compression) gob size.
+func encodeShard(ri *RankImage) ([]byte, int64, error) {
+	var raw bytes.Buffer
+	if err := gob.NewEncoder(&raw).Encode(ri); err != nil {
+		return nil, 0, fmt.Errorf("ckpt: encoding rank %d shard: %w", ri.Rank, err)
+	}
+	var out bytes.Buffer
+	out.Grow(raw.Len()/4 + 64)
+	fw, _ := flateWriters.Get().(*flate.Writer)
+	if fw == nil {
+		var err error
+		if fw, err = flate.NewWriter(&out, shardCompression); err != nil {
+			return nil, 0, fmt.Errorf("ckpt: rank %d shard compressor: %w", ri.Rank, err)
+		}
+	} else {
+		fw.Reset(&out)
+	}
+	if _, err := fw.Write(raw.Bytes()); err != nil {
+		return nil, 0, fmt.Errorf("ckpt: compressing rank %d shard: %w", ri.Rank, err)
+	}
+	if err := fw.Close(); err != nil {
+		return nil, 0, fmt.Errorf("ckpt: compressing rank %d shard: %w", ri.Rank, err)
+	}
+	flateWriters.Put(fw)
+	return out.Bytes(), int64(raw.Len()), nil
+}
+
+// decodeShard reverses encodeShard.
+func decodeShard(blob []byte, rawSize int64) (*RankImage, error) {
+	fr := flate.NewReader(bytes.NewReader(blob))
+	defer fr.Close()
+	raw := bytes.NewBuffer(make([]byte, 0, rawSize))
+	if _, err := io.Copy(raw, fr); err != nil {
+		return nil, fmt.Errorf("decompressing: %w", err)
+	}
+	var ri RankImage
+	if err := gob.NewDecoder(raw).Decode(&ri); err != nil {
+		return nil, fmt.Errorf("decoding: %w", err)
+	}
+	return &ri, nil
+}
+
+func checksumOf(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// Encode serializes the job image in the v2 sharded format, fanning the
+// per-rank shard encoding out across GOMAXPROCS workers. The output is
+// deterministic: shards land in rank order regardless of worker scheduling.
+func (ji *JobImage) Encode() ([]byte, error) {
+	n := len(ji.Images)
+	shards := make([][]byte, n)
+	raws := make([]int64, n)
+	errs := make([]error, n)
+	fanOut(n, encodeWorkers(n), func(i int) {
+		shards[i], raws[i], errs[i] = encodeShard(&ji.Images[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	man := Manifest{
+		Algorithm:          ji.Algorithm,
+		Ranks:              ji.Ranks,
+		PPN:                ji.PPN,
+		CaptureVT:          ji.CaptureVT,
+		PaddedBytesPerRank: ji.PaddedBytesPerRank,
+		Shards:             make([]ShardInfo, n),
+	}
+	var off, total int64
+	for i := range shards {
+		man.Shards[i] = ShardInfo{
+			Rank:     ji.Images[i].Rank,
+			Offset:   off,
+			Size:     int64(len(shards[i])),
+			RawSize:  raws[i],
+			Checksum: checksumOf(shards[i]),
+		}
+		off += int64(len(shards[i]))
+		total += int64(len(shards[i]))
+	}
+
+	var head bytes.Buffer
+	if err := gob.NewEncoder(&head).Encode(&man); err != nil {
+		return nil, fmt.Errorf("ckpt: encoding image manifest: %w", err)
+	}
+
+	out := make([]byte, 0, 20+head.Len()+int(total))
+	out = append(out, imageMagicV2...)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(head.Len()))
+	out = append(out, u32[:]...)
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], checksumOf(head.Bytes()))
+	out = append(out, u64[:]...)
+	out = append(out, head.Bytes()...)
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+// EncodeV1 serializes the job image in the legacy monolithic v1 format: a
+// magic/version header, an FNV-1a integrity checksum, and one gob payload.
+// Kept as the backward-compatibility reference (old images must keep
+// decoding) and as the serial baseline for the image-pipeline benchmarks.
+func (ji *JobImage) EncodeV1() ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(ji); err != nil {
+		return nil, fmt.Errorf("ckpt: encoding job image: %w", err)
+	}
+	out := make([]byte, 0, len(imageMagicV1)+8+payload.Len())
+	out = append(out, imageMagicV1...)
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], checksumOf(payload.Bytes()))
+	out = append(out, sum[:]...)
+	out = append(out, payload.Bytes()...)
+	return out, nil
+}
+
+// DecodeJobImage deserializes a job image produced by Encode (v2 sharded) or
+// EncodeV1 (legacy monolithic), verifying headers and integrity checksums.
+// Corruption in a v2 image is attributed to the specific rank shard.
+func DecodeJobImage(data []byte) (*JobImage, error) {
+	switch {
+	case len(data) >= len(imageMagicV2) && bytes.Equal(data[:len(imageMagicV2)], imageMagicV2):
+		return decodeV2(data)
+	case len(data) >= len(imageMagicV1) && bytes.Equal(data[:len(imageMagicV1)], imageMagicV1):
+		return decodeV1(data)
+	case len(data) < len(imageMagicV1)+8:
+		return nil, fmt.Errorf("ckpt: image truncated (%d bytes)", len(data))
+	}
+	return nil, fmt.Errorf("ckpt: not a checkpoint image (bad magic)")
+}
+
+func decodeV1(data []byte) (*JobImage, error) {
+	if len(data) < len(imageMagicV1)+8 {
+		return nil, fmt.Errorf("ckpt: image truncated (%d bytes)", len(data))
+	}
+	want := binary.LittleEndian.Uint64(data[len(imageMagicV1):])
+	payload := data[len(imageMagicV1)+8:]
+	if got := checksumOf(payload); got != want {
+		return nil, fmt.Errorf("ckpt: image corrupted (checksum %x, want %x)", got, want)
+	}
+	var ji JobImage
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ji); err != nil {
+		return nil, fmt.Errorf("ckpt: decoding job image: %w", err)
+	}
+	return &ji, nil
+}
+
+// DecodeManifest reads a v2 image's manifest without touching shard data.
+// It fails on v1 images (they have no manifest) and on header corruption.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	if len(data) < 20 || !bytes.Equal(data[:len(imageMagicV2)], imageMagicV2) {
+		if len(data) >= len(imageMagicV1) && bytes.Equal(data[:len(imageMagicV1)], imageMagicV1) {
+			return nil, fmt.Errorf("ckpt: v1 image has no manifest")
+		}
+		return nil, fmt.Errorf("ckpt: not a v2 checkpoint image")
+	}
+	headLen := int64(binary.LittleEndian.Uint32(data[8:12]))
+	wantSum := binary.LittleEndian.Uint64(data[12:20])
+	if int64(len(data)) < 20+headLen {
+		return nil, fmt.Errorf("ckpt: image truncated (manifest needs %d bytes, have %d)", 20+headLen, len(data))
+	}
+	head := data[20 : 20+headLen]
+	if got := checksumOf(head); got != wantSum {
+		return nil, fmt.Errorf("ckpt: image manifest corrupted (checksum %x, want %x)", got, wantSum)
+	}
+	var man Manifest
+	if err := gob.NewDecoder(bytes.NewReader(head)).Decode(&man); err != nil {
+		return nil, fmt.Errorf("ckpt: decoding image manifest: %w", err)
+	}
+	if len(man.Shards) != man.Ranks {
+		return nil, fmt.Errorf("ckpt: manifest lists %d shards for %d ranks", len(man.Shards), man.Ranks)
+	}
+	return &man, nil
+}
+
+// shardBlob slices one shard's compressed blob out of a v2 image and
+// verifies its checksum.
+func shardBlob(data []byte, man *Manifest, i int) ([]byte, error) {
+	si := &man.Shards[i]
+	base := int64(20) + int64(binary.LittleEndian.Uint32(data[8:12]))
+	lo, hi := base+si.Offset, base+si.Offset+si.Size
+	if lo < base || hi > int64(len(data)) || lo > hi {
+		return nil, fmt.Errorf("shard out of bounds [%d:%d) of %d", lo, hi, len(data))
+	}
+	blob := data[lo:hi]
+	if got := checksumOf(blob); got != si.Checksum {
+		return nil, fmt.Errorf("shard corrupted (checksum %x, want %x)", got, si.Checksum)
+	}
+	return blob, nil
+}
+
+func decodeV2(data []byte) (*JobImage, error) {
+	man, err := DecodeManifest(data)
+	if err != nil {
+		return nil, err
+	}
+	ji := &JobImage{
+		Algorithm:          man.Algorithm,
+		Ranks:              man.Ranks,
+		PPN:                man.PPN,
+		CaptureVT:          man.CaptureVT,
+		PaddedBytesPerRank: man.PaddedBytesPerRank,
+		Images:             make([]RankImage, len(man.Shards)),
+	}
+	errs := make([]error, len(man.Shards))
+	fanOut(len(man.Shards), encodeWorkers(len(man.Shards)), func(i int) {
+		blob, err := shardBlob(data, man, i)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		ri, err := decodeShard(blob, man.Shards[i].RawSize)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		ji.Images[i] = *ri
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: rank %d shard: %w", man.Shards[i].Rank, err)
+		}
+	}
+	return ji, nil
+}
+
+// ShardFault names one corrupted or undecodable shard in an image.
+type ShardFault struct {
+	Rank int
+	Err  error
+}
+
+// VerifyImage checks an image's integrity shard by shard without requiring
+// the whole job to decode: every v2 shard's checksum is validated and the
+// shard is trially decoded; faults are attributed per rank. For v1 images the
+// single whole-payload checksum is all there is, so a corrupted v1 image
+// yields one fault with Rank -1. A structural error (bad magic, corrupted
+// manifest) is returned as err instead.
+func VerifyImage(data []byte) ([]ShardFault, error) {
+	if len(data) >= len(imageMagicV1) && bytes.Equal(data[:len(imageMagicV1)], imageMagicV1) {
+		if _, err := decodeV1(data); err != nil {
+			return []ShardFault{{Rank: -1, Err: err}}, nil
+		}
+		return nil, nil
+	}
+	man, err := DecodeManifest(data)
+	if err != nil {
+		return nil, err
+	}
+	faults := make([]error, len(man.Shards))
+	fanOut(len(man.Shards), encodeWorkers(len(man.Shards)), func(i int) {
+		blob, err := shardBlob(data, man, i)
+		if err != nil {
+			faults[i] = err
+			return
+		}
+		if _, err := decodeShard(blob, man.Shards[i].RawSize); err != nil {
+			faults[i] = err
+		}
+	})
+	var out []ShardFault
+	for i, err := range faults {
+		if err != nil {
+			out = append(out, ShardFault{Rank: man.Shards[i].Rank, Err: err})
+		}
+	}
+	return out, nil
+}
+
+// ShardRange returns the byte range [lo, hi) a rank's compressed shard
+// occupies within an encoded v2 image. Tools (and the conformance engine's
+// per-shard corruption probe) use it to address shard bytes directly.
+func ShardRange(data []byte, rank int) (lo, hi int64, err error) {
+	man, err := DecodeManifest(data)
+	if err != nil {
+		return 0, 0, err
+	}
+	base := int64(20) + int64(binary.LittleEndian.Uint32(data[8:12]))
+	for i := range man.Shards {
+		if si := &man.Shards[i]; si.Rank == rank {
+			return base + si.Offset, base + si.Offset + si.Size, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("ckpt: image has no rank %d", rank)
+}
+
+// ExtractRank decodes a single rank's image from an encoded job image. For
+// v2 images only that rank's shard is read and decompressed; for v1 images
+// the whole image must decode first.
+func ExtractRank(data []byte, rank int) (*RankImage, error) {
+	if len(data) >= len(imageMagicV1) && bytes.Equal(data[:len(imageMagicV1)], imageMagicV1) {
+		ji, err := decodeV1(data)
+		if err != nil {
+			return nil, err
+		}
+		for i := range ji.Images {
+			if ji.Images[i].Rank == rank {
+				return &ji.Images[i], nil
+			}
+		}
+		return nil, fmt.Errorf("ckpt: image has no rank %d", rank)
+	}
+	man, err := DecodeManifest(data)
+	if err != nil {
+		return nil, err
+	}
+	for i := range man.Shards {
+		if man.Shards[i].Rank != rank {
+			continue
+		}
+		blob, err := shardBlob(data, man, i)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: rank %d shard: %w", rank, err)
+		}
+		ri, err := decodeShard(blob, man.Shards[i].RawSize)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: rank %d shard: %w", rank, err)
+		}
+		return ri, nil
+	}
+	return nil, fmt.Errorf("ckpt: image has no rank %d", rank)
+}

@@ -1,0 +1,283 @@
+package ckpt
+
+// Tests for the v2 sharded image format: v1 backward compatibility,
+// determinism of the parallel encoder, per-shard corruption attribution,
+// manifest inspection, single-rank extraction, and serial/parallel capture
+// equivalence.
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mana/internal/mpi"
+	"mana/internal/netmodel"
+)
+
+// testJobImage builds a representative image: mixed park kinds, pending
+// collective and receive descriptors, in-flight messages, uneven payloads.
+func testJobImage(ranks int) *JobImage {
+	ji := &JobImage{
+		Algorithm: "cc", Ranks: ranks, PPN: 2, CaptureVT: 1.25,
+		Images: make([]RankImage, ranks),
+	}
+	for r := 0; r < ranks; r++ {
+		app := make([]byte, 64+r*17)
+		for i := range app {
+			app[i] = byte(r + i)
+		}
+		ri := RankImage{Rank: r, App: app, Proto: []byte{byte(r), 2, 3}, ClockVT: 1.0 + float64(r)/8}
+		switch r % 3 {
+		case 0:
+			ri.Desc = Descriptor{
+				Kind: ParkPreCollective,
+				Coll: &CollDesc{CommVID: 1, Kind: 3, Root: 2, InBufID: "x", OutBufID: "x"},
+				Recvs: []RecvDesc{
+					{CommVID: 0, Src: 1, Tag: 7, BufID: "halo", Off: 8, Len: 16},
+				},
+			}
+			ri.Inflight = []mpi.InflightSnapshot{
+				{CommID: 1, SrcComm: 1, Tag: 7, Data: []byte("msg")},
+			}
+		case 1:
+			ri.Desc = Descriptor{
+				Kind: ParkPreCollective,
+				Coll: &CollDesc{CommVID: 0, Kind: 1, Bench: true, VirtSize: 0},
+			}
+		default:
+			ri.Desc = Descriptor{Kind: ParkDone}
+		}
+		ji.Images[r] = ri
+	}
+	return ji
+}
+
+// TestV1ImagesStillDecode: images written by the legacy monolithic encoder
+// must keep decoding, bit-identically to what the v2 round trip produces.
+func TestV1ImagesStillDecode(t *testing.T) {
+	ji := testJobImage(6)
+	v1, err := ji.EncodeV1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := ji.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(v1[:8], v2[:8]) {
+		t.Fatal("v1 and v2 images share a magic; version sniffing is impossible")
+	}
+	fromV1, err := DecodeJobImage(v1)
+	if err != nil {
+		t.Fatalf("v1 decode: %v", err)
+	}
+	fromV2, err := DecodeJobImage(v2)
+	if err != nil {
+		t.Fatalf("v2 decode: %v", err)
+	}
+	if !reflect.DeepEqual(fromV1, fromV2) {
+		t.Fatalf("v1 and v2 decodes disagree:\nv1: %+v\nv2: %+v", fromV1, fromV2)
+	}
+	if fromV2.Algorithm != "cc" || fromV2.Ranks != 6 || fromV2.CaptureVT != 1.25 {
+		t.Fatalf("header mismatch: %+v", fromV2)
+	}
+	// The Bench flag survives both formats.
+	if c := fromV1.Images[1].Desc.Coll; c == nil || !c.Bench {
+		t.Fatalf("bench descriptor lost through v1: %+v", fromV1.Images[1].Desc)
+	}
+	if c := fromV2.Images[1].Desc.Coll; c == nil || !c.Bench {
+		t.Fatalf("bench descriptor lost through v2: %+v", fromV2.Images[1].Desc)
+	}
+}
+
+// TestEncodeDeterministic: the parallel encoder must produce identical bytes
+// run to run — shards land in rank order regardless of worker scheduling.
+func TestEncodeDeterministic(t *testing.T) {
+	ji := testJobImage(16)
+	a, err := ji.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		b, err := ji.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("encode attempt %d produced different bytes", i)
+		}
+	}
+}
+
+func TestManifestAndShardRange(t *testing.T) {
+	ji := testJobImage(5)
+	ji.PaddedBytesPerRank = 1234
+	blob, err := ji.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := DecodeManifest(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Algorithm != "cc" || man.Ranks != 5 || man.PPN != 2 ||
+		man.CaptureVT != 1.25 || man.PaddedBytesPerRank != 1234 {
+		t.Fatalf("manifest header mismatch: %+v", man)
+	}
+	if len(man.Shards) != 5 {
+		t.Fatalf("manifest has %d shards, want 5", len(man.Shards))
+	}
+	var total int64
+	for i, s := range man.Shards {
+		if s.Rank != i {
+			t.Fatalf("shard %d claims rank %d", i, s.Rank)
+		}
+		if s.Offset != total {
+			t.Fatalf("shard %d at offset %d, want %d (contiguous)", i, s.Offset, total)
+		}
+		if s.Size <= 0 || s.RawSize <= 0 {
+			t.Fatalf("shard %d has degenerate sizes: %+v", i, s)
+		}
+		lo, hi, err := ShardRange(blob, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hi-lo != s.Size {
+			t.Fatalf("ShardRange(%d) spans %d bytes, manifest says %d", i, hi-lo, s.Size)
+		}
+		total += s.Size
+	}
+	if _, err := DecodeManifest([]byte("MANAIMG1xxxxxxxx")); err == nil {
+		t.Fatal("v1 image yielded a manifest")
+	}
+	if _, _, err := ShardRange(blob, 99); err == nil {
+		t.Fatal("ShardRange accepted a nonexistent rank")
+	}
+}
+
+func TestExtractRank(t *testing.T) {
+	ji := testJobImage(6)
+	for _, encode := range []struct {
+		name string
+		fn   func() ([]byte, error)
+	}{
+		{"v2", ji.Encode},
+		{"v1", ji.EncodeV1},
+	} {
+		blob, err := encode.fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range []int{0, 3, 5} {
+			ri, err := ExtractRank(blob, r)
+			if err != nil {
+				t.Fatalf("%s extract rank %d: %v", encode.name, r, err)
+			}
+			if !reflect.DeepEqual(*ri, ji.Images[r]) {
+				t.Fatalf("%s extract rank %d mismatch:\ngot  %+v\nwant %+v", encode.name, r, *ri, ji.Images[r])
+			}
+		}
+		if _, err := ExtractRank(blob, 99); err == nil {
+			t.Fatalf("%s extract accepted a nonexistent rank", encode.name)
+		}
+	}
+}
+
+// TestShardCorruptionAttributed: flipping one byte in rank k's shard must
+// fail the decode, and per-shard verification must attribute the fault to
+// exactly rank k.
+func TestShardCorruptionAttributed(t *testing.T) {
+	ji := testJobImage(8)
+	blob, err := ji.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults, err := VerifyImage(blob); err != nil || len(faults) != 0 {
+		t.Fatalf("pristine image has faults %v (err %v)", faults, err)
+	}
+	for _, victim := range []int{0, 3, 7} {
+		lo, hi, err := ShardRange(blob, victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := append([]byte(nil), blob...)
+		bad[(lo+hi)/2] ^= 0xFF
+		if _, err := DecodeJobImage(bad); err == nil {
+			t.Fatalf("decode accepted corruption in rank %d's shard", victim)
+		}
+		faults, err := VerifyImage(bad)
+		if err != nil {
+			t.Fatalf("verify failed structurally: %v", err)
+		}
+		if len(faults) != 1 || faults[0].Rank != victim {
+			t.Fatalf("corruption in rank %d attributed to %v", victim, faults)
+		}
+	}
+	// Manifest corruption is structural: no shard to blame.
+	bad := append([]byte(nil), blob...)
+	bad[15] ^= 0xFF // inside the manifest checksum/header region
+	if _, err := VerifyImage(bad); err == nil {
+		t.Fatal("corrupted manifest verified")
+	}
+	// A corrupted v1 image yields one unattributed fault.
+	v1, err := ji.EncodeV1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1[len(v1)-1] ^= 0xFF
+	faults, err := VerifyImage(v1)
+	if err != nil || len(faults) != 1 || faults[0].Rank != -1 {
+		t.Fatalf("corrupted v1 image: faults %v err %v", faults, err)
+	}
+}
+
+// TestCaptureSerialParallelEquivalent: the coordinator must build the same
+// image regardless of the capture fan-out width.
+func TestCaptureSerialParallelEquivalent(t *testing.T) {
+	capture := func(workers int) *JobImage {
+		const n = 16
+		w := mpi.NewWorld(n, netmodel.New(netmodel.PerlmutterLike(), 4))
+		c := NewCoordinator(w, ContinueAfterCapture)
+		c.CaptureWorkers = workers
+		a := &stubAlgo{quiesced: true}
+		c.SetAlgorithm(a)
+		for r := 0; r < n; r++ {
+			rank := r
+			c.RegisterRank(r, RankHooks{
+				AppSnapshot: func() ([]byte, error) {
+					buf := make([]byte, 128)
+					for i := range buf {
+						buf[i] = byte(rank * i)
+					}
+					return buf, nil
+				},
+				ProtoSnapshot: func() ([]byte, error) { return []byte{byte(rank)}, nil },
+				ClockVT:       func() float64 { return float64(rank) },
+				SetClock:      func(vt float64) {},
+				PendingRecvs:  func() []RecvDesc { return nil },
+			})
+		}
+		c.RequestCheckpoint(1.0)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				c.ParkUntil(rank, &Descriptor{Kind: ParkBoundary}, func() Decision { return Stay })
+			}(r)
+		}
+		wg.Wait()
+		img, _, err := c.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	serial, parallel := capture(1), capture(8)
+	// CaptureVT and per-rank payloads must agree; host-time stats differ by
+	// construction, but they live outside the image.
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("serial and parallel captures differ:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}

@@ -399,6 +399,212 @@ func verifyTrigger(o *Options, wl, algo string, cr *CaseResult, factory func(int
 	return tr
 }
 
+// captureMidRun runs the workload with a checkpoint-and-exit at the middle
+// of its golden step range and returns the golden report, the factory, and
+// the captured image. Shared by the negative and cross-geometry checks.
+func captureMidRun(o *Options, wl, algo string) (*rt.Report, func(int) rt.App, *ckpt.JobImage, error) {
+	goldenRep, factory, _, err := adaptedGolden(o, wl, algo)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cfg := baseConfig(o, algo)
+	cfg.Checkpoint = &rt.CkptPlan{AtStep: int(goldenRep.RankSteps[0] / 2), Mode: ckpt.ExitAfterCapture}
+	rep, err := rt.Run(cfg, factory)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("checkpointed run: %w", err)
+	}
+	if rep.Image == nil {
+		return nil, nil, nil, fmt.Errorf("no image captured at step %d", cfg.Checkpoint.AtStep)
+	}
+	return goldenRep, factory, rep.Image, nil
+}
+
+// notRunnable reports why a workload x algorithm cell cannot execute.
+func notRunnable(wl, algo string) error {
+	if algo == rt.AlgoNative || algo == "" {
+		return fmt.Errorf("the native baseline cannot checkpoint")
+	}
+	if algo == rt.Algo2PC && apps.UsesNonblockingCollectives(wl) {
+		return fmt.Errorf("case %s/%s is not runnable: 2PC does not support non-blocking collectives", wl, algo)
+	}
+	return nil
+}
+
+// crossGeometries selects restart placements that differ from the capture
+// PPN: fully packed (one node), fully spread (one rank per node), and a
+// halved PPN when it exists. These are the MANA allocation-chaining shapes —
+// same rank count, different node count.
+func crossGeometries(ranks, ppn int) []int {
+	var out []int
+	seen := map[int]bool{ppn: true}
+	for _, cand := range []int{ranks, 1, ppn / 2} {
+		if cand >= 1 && cand <= ranks && !seen[cand] {
+			seen[cand] = true
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// VerifyCrossGeometry checks the allocation-chaining claim: a checkpoint
+// captured on one geometry must restart onto a different ranks-per-node
+// placement (and node count) and still reach the golden final-state digest.
+// The image crosses serialization on the way, as a real chained allocation
+// would.
+func VerifyCrossGeometry(wl, algo string, opts Options) error {
+	o := opts.withDefaults()
+	if err := notRunnable(wl, algo); err != nil {
+		return err
+	}
+	goldenRep, factory, image, err := captureMidRun(&o, wl, algo)
+	if err != nil {
+		return err
+	}
+	encoded, err := image.Encode()
+	if err != nil {
+		return fmt.Errorf("image encode: %w", err)
+	}
+	img, err := ckpt.DecodeJobImage(encoded)
+	if err != nil {
+		return fmt.Errorf("image decode: %w", err)
+	}
+	return crossGeometryOn(&o, wl, algo, goldenRep, factory, img)
+}
+
+// crossGeometryOn restarts an already-captured (and round-tripped) image
+// onto every alternative geometry and compares digests.
+func crossGeometryOn(o *Options, wl, algo string, goldenRep *rt.Report, factory func(int) rt.App, img *ckpt.JobImage) error {
+	geos := crossGeometries(o.Ranks, o.PPN)
+	if len(geos) == 0 {
+		return fmt.Errorf("no alternative geometry exists for %d ranks x %d ppn", o.Ranks, o.PPN)
+	}
+	for _, ppn := range geos {
+		cfg := baseConfig(o, algo)
+		cfg.PPN = ppn
+		rep, err := rt.Restart(cfg, img, factory)
+		if err != nil {
+			return fmt.Errorf("restart at ppn %d: %w", ppn, err)
+		}
+		if !rep.Completed {
+			return fmt.Errorf("restart at ppn %d did not complete", ppn)
+		}
+		if rep.StateDigest != goldenRep.StateDigest {
+			return fmt.Errorf("restart at ppn %d diverged: digest %.12s != golden %.12s",
+				ppn, rep.StateDigest, goldenRep.StateDigest)
+		}
+		o.Logf("%s/%s cross-geometry ppn %d->%d: digest ok", wl, algo, o.PPN, ppn)
+	}
+	return nil
+}
+
+// VerifyShardCorruptionDetected guards the sharded image format's integrity
+// story: it captures a checkpoint, encodes it, flips one byte inside a
+// specific rank's shard, and asserts that (a) the full decode refuses the
+// image, (b) per-shard verification attributes the fault to exactly the
+// corrupted rank, and (c) the pristine image verifies clean.
+func VerifyShardCorruptionDetected(wl, algo string, opts Options) error {
+	o := opts.withDefaults()
+	if err := notRunnable(wl, algo); err != nil {
+		return err
+	}
+	_, _, image, err := captureMidRun(&o, wl, algo)
+	if err != nil {
+		return err
+	}
+	encoded, err := image.Encode()
+	if err != nil {
+		return fmt.Errorf("image encode: %w", err)
+	}
+	return shardCorruptionOn(encoded, o.Ranks)
+}
+
+// shardCorruptionOn runs the per-shard corruption probe on an encoded image.
+func shardCorruptionOn(encoded []byte, ranks int) error {
+	if faults, err := ckpt.VerifyImage(encoded); err != nil || len(faults) != 0 {
+		return fmt.Errorf("pristine image did not verify: faults=%v err=%v", faults, err)
+	}
+	victim := ranks - 1 // any shard must be covered; the last exercises offsets
+	lo, hi, err := ckpt.ShardRange(encoded, victim)
+	if err != nil {
+		return fmt.Errorf("locating rank %d shard: %w", victim, err)
+	}
+	bad := append([]byte(nil), encoded...)
+	bad[(lo+hi)/2] ^= 0xFF
+	if _, err := ckpt.DecodeJobImage(bad); err == nil {
+		return fmt.Errorf("decode accepted an image with a corrupted rank-%d shard", victim)
+	}
+	faults, err := ckpt.VerifyImage(bad)
+	if err != nil {
+		return fmt.Errorf("per-shard verify failed structurally: %w", err)
+	}
+	if len(faults) != 1 || faults[0].Rank != victim {
+		return fmt.Errorf("corruption in rank %d's shard attributed to %v", victim, faults)
+	}
+	return nil
+}
+
+// AuxVerdict is the outcome of one auxiliary (beyond-the-matrix) check.
+type AuxVerdict struct {
+	Name string // "negative", "shard-corruption", "cross-geometry"
+	OK   string // success message for reporting
+	Err  error  // nil on pass
+}
+
+// VerifyAuxSuite runs the selected auxiliary checks — snapshot corruption,
+// per-shard corruption, cross-geometry restart — over ONE shared mid-run
+// capture, so a caller gating on all of them (ccverify) does not re-simulate
+// the same golden and checkpointed runs once per check. The error return is
+// structural (unrunnable case, capture failure); per-check failures land in
+// the verdicts.
+func VerifyAuxSuite(wl, algo string, opts Options, negative, crossgeo bool) ([]AuxVerdict, error) {
+	o := opts.withDefaults()
+	if err := notRunnable(wl, algo); err != nil {
+		return nil, err
+	}
+	goldenRep, factory, image, err := captureMidRun(&o, wl, algo)
+	if err != nil {
+		return nil, err
+	}
+	encoded, err := image.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("image encode: %w", err)
+	}
+	// Checks that restart the image each get a private decoded copy: the
+	// corruption probe mutates its image in place.
+	decode := func() (*ckpt.JobImage, error) {
+		img, err := ckpt.DecodeJobImage(encoded)
+		if err != nil {
+			return nil, fmt.Errorf("image decode: %w", err)
+		}
+		return img, nil
+	}
+	var out []AuxVerdict
+	if negative {
+		v := AuxVerdict{Name: "negative", OK: "corrupted image detected, ok"}
+		if img, err := decode(); err != nil {
+			v.Err = err
+		} else {
+			v.Err = corruptionDetectedOn(&o, algo, goldenRep, factory, img)
+		}
+		out = append(out, v)
+		out = append(out, AuxVerdict{
+			Name: "shard-corruption",
+			OK:   "corrupted shard detected and attributed, ok",
+			Err:  shardCorruptionOn(encoded, o.Ranks),
+		})
+	}
+	if crossgeo {
+		v := AuxVerdict{Name: "cross-geometry", OK: "restart digests match across geometries, ok"}
+		if img, err := decode(); err != nil {
+			v.Err = err
+		} else {
+			v.Err = crossGeometryOn(&o, wl, algo, goldenRep, factory, img)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // VerifyCorruptionDetected captures a checkpoint mid-run, corrupts one byte
 // of a rank's application snapshot inside the image, and confirms the
 // corruption cannot slip through: either the restore fails outright or the
@@ -407,35 +613,26 @@ func verifyTrigger(o *Options, wl, algo string, cr *CaseResult, factory func(int
 // the conformance engine is incapable of detecting real divergence.
 func VerifyCorruptionDetected(wl, algo string, opts Options) error {
 	o := opts.withDefaults()
-	if algo == rt.AlgoNative || algo == "" {
-		return fmt.Errorf("the native baseline cannot checkpoint")
+	if err := notRunnable(wl, algo); err != nil {
+		return err
 	}
-	if algo == rt.Algo2PC && apps.UsesNonblockingCollectives(wl) {
-		return fmt.Errorf("case %s/%s is not runnable: 2PC does not support non-blocking collectives", wl, algo)
-	}
-
-	goldenRep, factory, _, err := adaptedGolden(&o, wl, algo)
+	goldenRep, factory, img, err := captureMidRun(&o, wl, algo)
 	if err != nil {
 		return err
 	}
-	cfg := baseConfig(&o, algo)
-	cfg.Checkpoint = &rt.CkptPlan{AtStep: int(goldenRep.RankSteps[0] / 2), Mode: ckpt.ExitAfterCapture}
-	rep, err := rt.Run(cfg, factory)
-	if err != nil {
-		return fmt.Errorf("checkpointed run: %w", err)
-	}
-	if rep.Image == nil {
-		return fmt.Errorf("no image captured at step %d", cfg.Checkpoint.AtStep)
-	}
+	return corruptionDetectedOn(&o, algo, goldenRep, factory, img)
+}
 
+// corruptionDetectedOn runs the snapshot-corruption probe. It mutates img —
+// callers sharing a capture must pass a private decoded copy.
+func corruptionDetectedOn(o *Options, algo string, goldenRep *rt.Report, factory func(int) rt.App, img *ckpt.JobImage) error {
 	// Corrupt one byte in the middle of rank 0's application snapshot.
-	img := rep.Image
 	if len(img.Images[0].App) == 0 {
 		return fmt.Errorf("rank 0 snapshot is empty; nothing to corrupt")
 	}
 	img.Images[0].App[len(img.Images[0].App)/2] ^= 0xFF
 
-	rep2, err := rt.Restart(baseConfig(&o, algo), img, factory)
+	rep2, err := rt.Restart(baseConfig(o, algo), img, factory)
 	if err != nil {
 		return nil // detected: the corrupted snapshot failed to restore
 	}

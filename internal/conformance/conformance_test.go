@@ -69,6 +69,28 @@ func TestCorruptionDetected(t *testing.T) {
 	}
 }
 
+// TestCrossGeometryRestart: the allocation-chaining sweep — a checkpoint
+// captured at one PPN restarts onto packed, spread, and halved placements
+// and must hit the golden digest on each.
+func TestCrossGeometryRestart(t *testing.T) {
+	if err := VerifyCrossGeometry("comd", rt.AlgoCC, Options{Logf: t.Logf}); err != nil {
+		t.Fatal(err)
+	}
+	if !testing.Short() {
+		if err := VerifyCrossGeometry("vasp", rt.Algo2PC, Options{Logf: t.Logf}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardCorruptionDetected: corruption inside the encoded sharded image
+// must fail the decode and be attributed to the right rank's shard.
+func TestShardCorruptionDetected(t *testing.T) {
+	if err := VerifyShardCorruptionDetected("comd", rt.AlgoCC, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestGoldenDigestDeterministic: the digest must be a pure function of the
 // program, not of host scheduling — otherwise every comparison in the
 // engine is noise.

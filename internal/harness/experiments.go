@@ -77,8 +77,10 @@ var osuKinds = []netmodel.CollKind{
 	netmodel.Bcast, netmodel.Alltoall, netmodel.Allreduce, netmodel.Allgather,
 }
 
-// osuSizes are the three message sizes of Figure 5.
-var osuSizes = []int{4, 1024, 1 << 20}
+// osuSizes are the message sizes of Figure 5, plus size 0 (a pure-latency
+// point the paper elides; it regression-covers size-0 benchmark collectives
+// through the full checkpoint path).
+var osuSizes = []int{0, 4, 1024, 1 << 20}
 
 func sizeLabel(s int) string {
 	switch {

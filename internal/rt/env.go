@@ -42,6 +42,9 @@ type reqEntry struct {
 	id   int
 	req  *mpi.Request
 	recv *ckpt.RecvDesc // re-post info for p2p receives
+	// doneBoundaries counts step boundaries this entry has crossed while
+	// complete and unwaited; stepBoundary collects it on the second one.
+	doneBoundaries int
 }
 
 func newEnv(p *mpi.Proc, proto ckpt.Protocol, coord *ckpt.Coordinator, app App, enforce bool) *Env {
@@ -238,8 +241,31 @@ func (e *Env) noteBlocking() {
 	}
 }
 
-// stepBoundary resets per-step accounting.
-func (e *Env) stepBoundary() { e.blockingInStep = 0 }
+// stepBoundary resets per-step accounting and retires completed receives the
+// application abandoned. Without this the request table grows without bound
+// in programs that post receives satisfied by matching sends rather than an
+// explicit WaitAll. Only p2p receives are pruned, and only after surviving a
+// full extra step completed-and-unwaited: a receive posted in one step and
+// waited in the next (the widest overlap the one-blocking-batch contract
+// leaves room for) still gets its Wait — and with it the clock
+// synchronization to the arrival time — while a fire-and-forget receive is
+// collected one boundary later. Non-blocking collective initiations are
+// never pruned; their deferred WaitAll is the standard overlap pattern.
+func (e *Env) stepBoundary() {
+	e.blockingInStep = 0
+	kept := e.reqOrd[:0]
+	for _, id := range e.reqOrd {
+		if en := e.reqs[id]; en != nil && en.recv != nil && en.req.Done() {
+			if en.doneBoundaries > 0 {
+				delete(e.reqs, id)
+				continue
+			}
+			en.doneBoundaries++
+		}
+		kept = append(kept, id)
+	}
+	e.reqOrd = kept
+}
 
 // runCollective routes one blocking collective through the protocol.
 func (e *Env) runCollective(ci *ckpt.CommInfo, desc *ckpt.Descriptor, exec func()) {
@@ -406,7 +432,7 @@ func (e *Env) BenchCollective(vid int, kind netmodel.CollKind, root, size int) {
 	ci := e.comm(vid)
 	desc := &ckpt.Descriptor{
 		Kind: ckpt.ParkPreCollective,
-		Coll: &ckpt.CollDesc{CommVID: vid, Kind: int(kind), Root: root, VirtSize: size},
+		Coll: &ckpt.CollDesc{CommVID: vid, Kind: int(kind), Root: root, VirtSize: size, Bench: true},
 	}
 	e.runCollective(ci, desc, func() {
 		ci.Comm.CollectiveSized(kind, root, size)
@@ -422,8 +448,12 @@ func (e *Env) IBenchCollective(vid int, kind netmodel.CollKind, root, size int) 
 }
 
 // execCollDesc re-issues a pending collective from its restart descriptor.
+// The VirtSize > 0 fallback recognizes benchmark collectives captured into
+// v1 images, which predate the Bench flag (a size-0 bench collective from
+// such an image is indistinguishable from a named-buffer one and used to
+// panic on the buffer lookup — the flag exists precisely for that case).
 func (e *Env) execCollDesc(d *ckpt.CollDesc) {
-	if d.VirtSize > 0 {
+	if d.Bench || d.VirtSize > 0 {
 		e.BenchCollective(d.CommVID, netmodel.CollKind(d.Kind), d.Root, d.VirtSize)
 		return
 	}

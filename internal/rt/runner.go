@@ -46,8 +46,13 @@ type CkptPlan struct {
 	// Mode selects continue-in-place or exit-for-restart.
 	Mode ckpt.Mode
 	// PaddedBytesPerRank, when positive, overrides the measured image size
-	// in the storage model (to reproduce the paper's image sizes).
+	// in the storage model (to reproduce the paper's image sizes). With
+	// periodic checkpointing every capture is padded, so Checkpoint,
+	// CheckpointHistory, and the charged write times all agree.
 	PaddedBytesPerRank int64
+	// CaptureWorkers bounds the coordinator's per-rank snapshot fan-out at
+	// capture time. Zero selects GOMAXPROCS; one forces the serial baseline.
+	CaptureWorkers int
 }
 
 // Config describes one job.
@@ -134,15 +139,26 @@ func Run(cfg Config, factory func(rank int) App) (*Report, error) {
 		return nil, err
 	}
 	w := mpi.NewWorld(cfg.Ranks, netmodel.New(cfg.Params, cfg.PPN))
-	mode := ckpt.ContinueAfterCapture
-	if cfg.Checkpoint != nil {
-		mode = cfg.Checkpoint.Mode
-	}
-	coord := ckpt.NewCoordinator(w, mode)
+	coord := newCoordinator(w, cfg.Checkpoint)
 	if _, err := newAlgorithm(cfg.Algorithm, coord); err != nil {
 		return nil, err
 	}
 	return runJob(cfg, w, coord, factory, nil)
+}
+
+// newCoordinator builds the checkpoint coordinator for a job, applying the
+// plan's capture tuning (padded image sizes, capture fan-out).
+func newCoordinator(w *mpi.World, plan *CkptPlan) *ckpt.Coordinator {
+	mode := ckpt.ContinueAfterCapture
+	if plan != nil {
+		mode = plan.Mode
+	}
+	coord := ckpt.NewCoordinator(w, mode)
+	if plan != nil {
+		coord.PaddedBytesPerRank = plan.PaddedBytesPerRank
+		coord.CaptureWorkers = plan.CaptureWorkers
+	}
+	return coord
 }
 
 // runJob drives the rank goroutines over a prepared world. images, when
@@ -404,13 +420,9 @@ func runJob(cfg Config, w *mpi.World, coord *ckpt.Coordinator, factory func(rank
 		rep.StateDigest = digestOf(finalSnap)
 	}
 
+	// The coordinator accounts padded image sizes at capture time, so the
+	// standalone stats and every CheckpointHistory entry already agree.
 	if image, stats, err := coord.Result(); image != nil {
-		if cfg.Checkpoint != nil {
-			image.PaddedBytesPerRank = cfg.Checkpoint.PaddedBytesPerRank
-			stats.ImageBytes = image.TotalBytes()
-			nodes := (cfg.Ranks + cfg.PPN - 1) / cfg.PPN
-			stats.WriteVT = w.Model.CheckpointWriteTime(stats.ImageBytes, nodes)
-		}
 		rep.Image = image
 		rep.Checkpoint = &stats
 		rep.CheckpointHistory = coord.History()
@@ -441,25 +453,29 @@ func digestOf(snaps [][]byte) string {
 
 // Restart rebuilds a job from a checkpoint image — a fresh world (the new
 // lower half), replayed Setup, restored upper halves — and runs it to
-// completion. The configuration must describe the same job shape.
+// completion.
+//
+// The configuration must run the same program shape (rank count and
+// algorithm), but the GEOMETRY may differ: a job captured at one PPN can be
+// restarted onto a different ranks-per-node placement (and therefore a
+// different node count) — MANA's allocation-chaining scenario, where the
+// network-agnostic image outlives the allocation it was taken on. Only the
+// lower half changes: the storage/network model places ranks on the new
+// nodes, while the restored upper halves are placement-free.
 func Restart(cfg Config, img *ckpt.JobImage, factory func(rank int) App) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if img.Ranks != cfg.Ranks || img.PPN != cfg.PPN {
-		return nil, fmt.Errorf("rt: image is %d ranks x %d ppn, config is %d x %d",
-			img.Ranks, img.PPN, cfg.Ranks, cfg.PPN)
+	if img.Ranks != cfg.Ranks {
+		return nil, fmt.Errorf("rt: image is %d ranks, config is %d (rank counts must match; PPN may differ)",
+			img.Ranks, cfg.Ranks)
 	}
 	if cfg.Algorithm != img.Algorithm {
 		return nil, fmt.Errorf("rt: image was captured under %q, config requests %q",
 			img.Algorithm, cfg.Algorithm)
 	}
 	w := mpi.NewWorld(cfg.Ranks, netmodel.New(cfg.Params, cfg.PPN))
-	mode := ckpt.ContinueAfterCapture
-	if cfg.Checkpoint != nil {
-		mode = cfg.Checkpoint.Mode
-	}
-	coord := ckpt.NewCoordinator(w, mode)
+	coord := newCoordinator(w, cfg.Checkpoint)
 	if _, err := newAlgorithm(cfg.Algorithm, coord); err != nil {
 		return nil, err
 	}

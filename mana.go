@@ -55,6 +55,30 @@
 // detected. Runs are guarded by a deadlock watchdog (Config.StallTimeout):
 // a wedged job aborts with per-rank wait-site diagnostics instead of
 // hanging. The same matrix runs in CI via "go test ./internal/conformance".
+//
+// # Checkpoint images
+//
+// Images are serialized in a sharded format (v2): every rank's upper half is
+// an independent shard — gob-encoded, flate-compressed, and checksummed on
+// its own — behind a job manifest, and capture plus encode/decode fan out
+// across GOMAXPROCS workers. Corruption is detected and attributed to the
+// specific rank shard, and a single rank can be extracted without decoding
+// the job (ExtractRank). Legacy v1 monolithic images still load. The ccimg
+// tool fronts all of it:
+//
+//	ccimg info -v job.img            # geometry, park census, shard table
+//	ccimg verify job.img             # per-shard integrity (CI-friendly exit)
+//	ccimg extract -rank 3 job.img    # decode one rank's shard
+//
+// # Cross-geometry restart
+//
+// Restart requires the same rank count and algorithm as the capture, but not
+// the same placement: an image captured at one PPN restarts onto a different
+// ranks-per-node geometry (and node count) — MANA's allocation-chaining
+// scenario, where the network-agnostic image outlives the allocation it was
+// taken on. Only the rebuilt lower half changes; the conformance engine's
+// cross-geometry sweep (ccverify -crossgeo) asserts digest equality across
+// placements.
 package mana
 
 import (
@@ -80,6 +104,13 @@ type (
 	Report = rt.Report
 	// JobImage is a serializable checkpoint of a whole job.
 	JobImage = ckpt.JobImage
+	// RankImage is one rank's shard of a job checkpoint.
+	RankImage = ckpt.RankImage
+	// Manifest is the v2 sharded image's job-level header: geometry plus the
+	// per-rank shard table.
+	Manifest = ckpt.Manifest
+	// ShardFault names one corrupted shard found by VerifyImage.
+	ShardFault = ckpt.ShardFault
 	// CheckpointStats records one checkpoint's drain and I/O costs.
 	CheckpointStats = ckpt.CheckpointStats
 	// Params holds the network/storage model constants.
