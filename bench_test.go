@@ -380,6 +380,94 @@ func BenchmarkImagePipeline(b *testing.B) {
 	})
 }
 
+// BenchmarkAsyncIncrementalCheckpoint compares the PR 2 synchronous
+// full-capture path against the staged asynchronous pipeline with
+// incremental shard reuse, on a periodic-checkpoint run of the low-churn
+// straggler workload (64 ranks at the paper's padded ~398 MB per-rank
+// image size, most ranks dragging a fat frozen payload after an early
+// finish while two small hot ranks keep iterating). The headline
+// metrics are the mean job-visible stall per capture ("stall-s" — what the
+// paper's practicality argument wants small; means, not totals, because
+// chained capture counts may drift a little between runs), the mean modeled
+// write per capture, and the stall reduction factor ("stall-shrink-x"):
+// async captures stall only for the storage open latency while the padded
+// transfer streams behind execution, and incremental commits skip
+// re-writing the frozen shards, so the factor must be well above 1.
+func BenchmarkAsyncIncrementalCheckpoint(b *testing.B) {
+	const (
+		ranks    = 64
+		hotIters = 24
+		padded   = 398 << 20 // Figure 9's VASP per-rank image size
+	)
+	elems := 64 << 10 // 512 KB of real frozen state per cold rank
+	if testing.Short() {
+		elems = 8 << 10
+	}
+
+	run := func(b *testing.B, async, incremental bool) (stall, write float64, fresh, reused int) {
+		cfg := rt.Config{
+			Ranks: ranks, PPN: 32, Params: netmodel.PerlmutterLike(), Algorithm: rt.AlgoCC,
+			Checkpoint: &rt.CkptPlan{
+				AtStep: 4, Every: 1e-6, Mode: ckpt.ContinueAfterCapture,
+				Async: async, Incremental: incremental, Store: ckpt.NewMemStore(),
+				PaddedBytesPerRank: padded,
+			},
+		}
+		scfg := apps.StragglerConfig{
+			HotRanks: 2, ColdSteps: 2, HotIters: hotIters,
+			StateElems: elems, HotStateElems: 256,
+		}
+		rep, err := rt.Run(cfg, func(rank int) rt.App {
+			return apps.NewStraggler(scfg, rank)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.CheckpointHistory) < 3 {
+			b.Fatalf("only %d chained captures", len(rep.CheckpointHistory))
+		}
+		n := float64(len(rep.CheckpointHistory))
+		for _, st := range rep.CheckpointHistory {
+			stall += st.StallVT
+			write += st.WriteVT
+			fresh += st.FreshShards
+			reused += st.ReusedShards
+		}
+		return stall / n, write / n, fresh, reused
+	}
+
+	b.Run("sync-full", func(b *testing.B) {
+		var stall, write float64
+		for i := 0; i < b.N; i++ {
+			stall, write, _, _ = run(b, false, false)
+		}
+		b.ReportMetric(stall, "stall-s")
+		b.ReportMetric(write, "write-s")
+	})
+	b.Run("async-incremental", func(b *testing.B) {
+		var stall, write float64
+		var fresh, reused int
+		for i := 0; i < b.N; i++ {
+			stall, write, fresh, reused = run(b, true, true)
+		}
+		b.ReportMetric(stall, "stall-s")
+		b.ReportMetric(write, "write-s")
+		b.ReportMetric(float64(reused)/float64(fresh+reused)*100, "reuse%")
+	})
+	b.Run("stall-shrink", func(b *testing.B) {
+		var shrink float64
+		for i := 0; i < b.N; i++ {
+			syncStall, _, _, _ := run(b, false, false)
+			asyncStall, _, _, _ := run(b, true, true)
+			shrink = syncStall / asyncStall
+		}
+		if shrink <= 1 {
+			b.Fatalf("async incremental did not shrink the checkpoint stall (factor %g)", shrink)
+		}
+		b.ReportMetric(shrink, "stall-shrink-x")
+	})
+}
+
 // BenchmarkAblationGgid measures the global-group-id hash — the only
 // per-call computation the CC algorithm adds beyond a map increment.
 func BenchmarkAblationGgid(b *testing.B) {

@@ -1,15 +1,20 @@
-// Command ccimg inspects and verifies checkpoint images — the restart
-// analog of `file`/`readelf` for MANA images.
+// Command ccimg inspects and verifies checkpoint images and stores — the
+// restart analog of `file`/`readelf` for MANA images.
 //
-//	ccimg info [-v] <image>      job geometry, park census, shard table
-//	ccimg verify <image>         per-shard integrity check (exit 1 on fault)
-//	ccimg extract -rank N [-o out.shard] <image>
-//	                             decode one rank's shard without the job
+//	ccimg info [-v] <image|store-dir>    job geometry, park census, shard
+//	                                     table / epoch chain summary
+//	ccimg verify <image|store-dir>       per-shard integrity check, chain
+//	                                     reference resolution (exit 1 on fault)
+//	ccimg extract -rank N [-epoch E] [-o out.shard] <image|store-dir>
+//	                                     decode one rank's shard without the job
 //
-// Bare `ccimg [-v] <image>` is shorthand for `ccimg info`. Both the v2
-// sharded format and legacy v1 monolithic images are accepted; shard-level
-// operations degrade gracefully on v1 (verify checks the single whole-image
-// checksum, extract decodes the whole image first).
+// Bare `ccimg [-v] <path>` is shorthand for `ccimg info`. A directory
+// argument is treated as a checkpoint store (one epoch per capture,
+// incremental shard references resolved through the chain); a file argument
+// as an encoded image. Both the v2 sharded format and legacy v1 monolithic
+// images are accepted; shard-level operations degrade gracefully on v1
+// (verify checks the single whole-image checksum, extract decodes the whole
+// image first).
 package main
 
 import (
@@ -46,29 +51,51 @@ func main() {
 	}
 }
 
-// readImage loads the raw encoded image; decoding is per-command (verify
-// must see the raw bytes, info wants the manifest before the full decode).
-func readImage(fs *flag.FlagSet, usage string) ([]byte, string, error) {
+// target resolves the path argument: a directory opens as a store, a file
+// loads as a raw encoded image.
+type target struct {
+	path  string
+	blob  []byte          // image bytes (file targets)
+	store *ckpt.FileStore // non-nil for store directories
+}
+
+// readTarget classifies and loads the single path argument.
+func readTarget(fs *flag.FlagSet, usage string) (*target, error) {
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage:", usage)
 		os.Exit(2)
 	}
 	path := fs.Arg(0)
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsDir() {
+		store, err := ckpt.NewFileStore(path)
+		if err != nil {
+			return nil, err
+		}
+		return &target{path: path, store: store}, nil
+	}
 	blob, err := os.ReadFile(path)
 	if err != nil {
-		return nil, path, err
+		return nil, err
 	}
-	return blob, path, nil
+	return &target{path: path, blob: blob}, nil
 }
 
 func runInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	verbose := fs.Bool("v", false, "per-rank detail")
 	fs.Parse(args)
-	blob, path, err := readImage(fs, "ccimg info [-v] <image-file>")
+	tgt, err := readTarget(fs, "ccimg info [-v] <image-file|store-dir>")
 	if err != nil {
 		return err
 	}
+	if tgt.store != nil {
+		return storeInfo(tgt.store, tgt.path, *verbose)
+	}
+	blob, path := tgt.blob, tgt.path
 	img, err := ckpt.DecodeJobImage(blob)
 	if err != nil {
 		return err
@@ -159,13 +186,65 @@ func printRank(ri *ckpt.RankImage) {
 	}
 }
 
-func runVerify(args []string) error {
-	fs := flag.NewFlagSet("verify", flag.ExitOnError)
-	fs.Parse(args)
-	blob, path, err := readImage(fs, "ccimg verify <image-file>")
+// storeInfo renders a checkpoint store's epoch chain.
+func storeInfo(store *ckpt.FileStore, path string, verbose bool) error {
+	epochs, err := store.Epochs()
 	if err != nil {
 		return err
 	}
+	fmt.Printf("checkpoint store: %s (%d sealed epochs)\n", path, len(epochs))
+	if len(epochs) == 0 {
+		return nil
+	}
+	fmt.Printf("%-7s %-7s %-6s %10s %7s %7s %12s %12s\n",
+		"EPOCH", "PARENT", "RANKS", "CAPTURE-VT", "FRESH", "REUSED", "FRESH-B", "REUSED-B")
+	for _, e := range epochs {
+		man, err := store.GetManifest(e)
+		if err != nil {
+			return err
+		}
+		fresh, reused := 0, 0
+		var freshB, reusedB int64
+		for _, si := range man.Shards {
+			if si.RefEpoch == man.Epoch {
+				fresh++
+				freshB += si.Size
+			} else {
+				reused++
+				reusedB += si.Size
+			}
+		}
+		parent := "-"
+		if man.Parent >= 0 {
+			parent = fmt.Sprint(man.Parent)
+		}
+		fmt.Printf("%-7d %-7s %-6d %9.4fs %7d %7d %12d %12d\n",
+			man.Epoch, parent, man.Ranks, man.CaptureVT, fresh, reused, freshB, reusedB)
+		if verbose {
+			for _, si := range man.Shards {
+				loc := "fresh"
+				if si.RefEpoch != man.Epoch {
+					loc = fmt.Sprintf("ref epoch %d", si.RefEpoch)
+				}
+				fmt.Printf("    rank %4d: %s, %dB (raw %dB), clock=%.6fs\n",
+					si.Rank, loc, si.Size, si.RawSize, si.ClockVT)
+			}
+		}
+	}
+	return nil
+}
+
+func runVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs.Parse(args)
+	tgt, err := readTarget(fs, "ccimg verify <image-file|store-dir>")
+	if err != nil {
+		return err
+	}
+	if tgt.store != nil {
+		return verifyStore(tgt.store, tgt.path)
+	}
+	blob, path := tgt.blob, tgt.path
 	faults, err := ckpt.VerifyImage(blob)
 	if err != nil {
 		return err
@@ -189,17 +268,54 @@ func runVerify(args []string) error {
 	return fmt.Errorf("%d shard(s) corrupted", len(faults))
 }
 
-func runExtract(args []string) error {
-	fs := flag.NewFlagSet("extract", flag.ExitOnError)
-	rank := fs.Int("rank", 0, "rank whose shard to extract")
-	out := fs.String("o", "", "write the decoded rank image (gob) to this file")
-	fs.Parse(args)
-	blob, _, err := readImage(fs, "ccimg extract -rank N [-o out] <image-file>")
+// verifyStore checks every sealed epoch's shards (through the reference
+// chain) and attributes faults per epoch and rank.
+func verifyStore(store *ckpt.FileStore, path string) error {
+	epochs, err := store.Epochs()
 	if err != nil {
 		return err
 	}
-	ri, err := ckpt.ExtractRank(blob, *rank)
+	faults, err := ckpt.VerifyStore(store)
 	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d sealed epochs\n", path, len(epochs))
+	if len(faults) == 0 {
+		fmt.Println("all epochs verify: ok")
+		return nil
+	}
+	for _, f := range faults {
+		if f.Rank < 0 {
+			fmt.Printf("epoch %d FAULT: %v\n", f.Epoch, f.Err)
+		} else {
+			fmt.Printf("epoch %d rank %d (bytes in epoch %d) FAULT: %v\n", f.Epoch, f.Rank, f.RefEpoch, f.Err)
+		}
+	}
+	return fmt.Errorf("%d fault(s) in the chain", len(faults))
+}
+
+func runExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	rank := fs.Int("rank", 0, "rank whose shard to extract")
+	epoch := fs.Int("epoch", -1, "store epoch to extract from (-1 = latest; stores only)")
+	out := fs.String("o", "", "write the decoded rank image (gob) to this file")
+	fs.Parse(args)
+	tgt, err := readTarget(fs, "ccimg extract -rank N [-epoch E] [-o out] <image-file|store-dir>")
+	if err != nil {
+		return err
+	}
+	var ri *ckpt.RankImage
+	if tgt.store != nil {
+		e := *epoch
+		if e < 0 {
+			if e, err = ckpt.LatestEpoch(tgt.store); err != nil {
+				return err
+			}
+		}
+		if ri, err = ckpt.ExtractRankFromStore(tgt.store, e, *rank); err != nil {
+			return err
+		}
+	} else if ri, err = ckpt.ExtractRank(tgt.blob, *rank); err != nil {
 		return err
 	}
 	printRank(ri)

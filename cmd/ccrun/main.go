@@ -1,13 +1,20 @@
 // Command ccrun runs one workload under a checkpointing algorithm, with
-// optional checkpoint-and-exit and restart — the repo's mpirun-under-MANA
-// analog. It demonstrates allocation chaining end to end:
+// optional checkpoint-and-exit, periodic checkpointing into a store, and
+// restart — the repo's mpirun-under-MANA analog. It demonstrates allocation
+// chaining end to end:
 //
 //	ccrun -app vasp -algo cc -ranks 512 -ckpt-at 0.5 -image /tmp/job.img
 //	ccrun -app vasp -algo cc -ranks 512 -restart /tmp/job.img
 //
-// The first invocation drains to a safe state at virtual time 0.5 s, writes
-// the job image, and exits; the second rebuilds a fresh lower half, restores
-// the upper halves, and runs the job to completion.
+// and the staged asynchronous pipeline with incremental shard reuse:
+//
+//	ccrun -app straggler -algo cc -ckpt-at 0.2 -continue -every 0.2 \
+//	      -store /tmp/ckpts -async -incremental
+//	ccrun -app straggler -algo cc -restart-store /tmp/ckpts [-epoch 3]
+//
+// The first periodic invocation seals one store epoch per capture (unchanged
+// shards recorded as references to earlier epochs); the second rebuilds the
+// job from any sealed epoch, resolving references through the chain.
 package main
 
 import (
@@ -20,15 +27,21 @@ import (
 
 func main() {
 	var (
-		app     = flag.String("app", "vasp", "workload: vasp, poisson, comd, lammps, sw4")
-		algo    = flag.String("algo", mana.AlgoCC, "algorithm: native, 2pc, cc")
-		ranks   = flag.Int("ranks", 128, "MPI processes")
-		ppn     = flag.Int("ppn", 128, "ranks per node")
-		scale   = flag.Float64("scale", 0.01, "iteration scale (1.0 = paper-length run)")
-		ckptAt  = flag.Float64("ckpt-at", 0, "request a checkpoint at this virtual time (0 = none)")
-		cont    = flag.Bool("continue", false, "continue after the checkpoint instead of exiting")
-		image   = flag.String("image", "", "write the checkpoint image to this file")
-		restart = flag.String("restart", "", "restart from this image file")
+		app      = flag.String("app", "vasp", "workload: vasp, poisson, comd, lammps, sw4, straggler")
+		algo     = flag.String("algo", mana.AlgoCC, "algorithm: native, 2pc, cc")
+		ranks    = flag.Int("ranks", 128, "MPI processes")
+		ppn      = flag.Int("ppn", 128, "ranks per node")
+		scale    = flag.Float64("scale", 0.01, "iteration scale (1.0 = paper-length run)")
+		ckptAt   = flag.Float64("ckpt-at", 0, "request a checkpoint at this virtual time (0 = none)")
+		every    = flag.Float64("every", 0, "periodic checkpoint interval after the first (0 = one checkpoint)")
+		cont     = flag.Bool("continue", false, "continue after the checkpoint instead of exiting")
+		async    = flag.Bool("async", false, "staged pipeline: resume the job while shards encode and commit")
+		incr     = flag.Bool("incremental", false, "reuse unchanged shards from the previous epoch (implies a store)")
+		storeDir = flag.String("store", "", "commit each capture as an epoch in this store directory")
+		image    = flag.String("image", "", "write the checkpoint image to this file")
+		restart  = flag.String("restart", "", "restart from this image file")
+		restore  = flag.String("restart-store", "", "restart from a store directory")
+		epoch    = flag.Int("epoch", -1, "store epoch to restart from (-1 = latest)")
 	)
 	flag.Parse()
 
@@ -42,16 +55,63 @@ func main() {
 		Params:    mana.PerlmutterLike(),
 		Algorithm: *algo,
 	}
+	if *ckptAt <= 0 && (*storeDir != "" || *async || *incr || *every > 0) {
+		// These flags only shape a checkpoint plan; without a first trigger
+		// they would be silently discarded and the run would complete with
+		// zero captures — surfaced only when a later restart finds an empty
+		// store.
+		fail(fmt.Errorf("-store/-async/-incremental/-every require -ckpt-at to schedule the first checkpoint"))
+	}
+	if *every > 0 && !*cont {
+		// Periodic chaining only happens when the job continues after each
+		// capture; with the default exit-after-capture mode -every would be
+		// silently ignored after the first checkpoint.
+		fail(fmt.Errorf("-every requires -continue (a checkpoint-exit run captures once)"))
+	}
 	if *ckptAt > 0 {
 		mode := mana.ExitAfterCapture
 		if *cont {
 			mode = mana.ContinueAfterCapture
 		}
-		cfg.Checkpoint = &mana.CkptPlan{AtVT: *ckptAt, Mode: mode}
+		cfg.Checkpoint = &mana.CkptPlan{
+			AtVT: *ckptAt, Every: *every, Mode: mode,
+			Async: *async, Incremental: *incr,
+		}
+		if *storeDir != "" {
+			fs, err := mana.NewFileStore(*storeDir)
+			if err != nil {
+				fail(err)
+			}
+			cfg.Checkpoint.Store = fs
+		}
 	}
 
 	var rep *mana.Report
-	if *restart != "" {
+	switch {
+	case *restore != "":
+		fs, err := mana.NewFileStore(*restore)
+		if err != nil {
+			fail(err)
+		}
+		e := *epoch
+		if e < 0 {
+			if e, err = mana.LatestEpoch(fs); err != nil {
+				fail(err)
+			}
+		}
+		man, err := fs.GetManifest(e)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("restarting %d ranks from %s epoch %d (captured at vt=%.4fs under %s)\n",
+			man.Ranks, *restore, e, man.CaptureVT, man.Algorithm)
+		cfg.Algorithm = man.Algorithm
+		cfg.Ranks = man.Ranks
+		rep, err = mana.RestartFromStore(cfg, fs, e, factory)
+		if err != nil {
+			fail(err)
+		}
+	case *restart != "":
 		img, err := mana.LoadImage(*restart)
 		if err != nil {
 			fail(err)
@@ -63,7 +123,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-	} else {
+	default:
 		rep, err = mana.Run(cfg, factory)
 		if err != nil {
 			fail(err)
@@ -75,11 +135,15 @@ func main() {
 	fmt.Printf("collective calls: %d (%.1f/s per rank)   p2p calls: %d (%.1f/s per rank)\n",
 		rep.Counters.CollCalls(), rep.Rates.CollPerSec,
 		rep.Counters.P2PCalls(), rep.Rates.P2PPerSec)
-	if rep.Checkpoint != nil {
-		st := rep.Checkpoint
+	for _, st := range rep.CheckpointHistory {
 		fmt.Printf("checkpoint: requested at %.4fs, safe state at %.4fs (drain %.2fms), "+
-			"%d bytes, write %.3fs\n",
-			st.RequestVT, st.CaptureVT, st.DrainVT*1e3, st.ImageBytes, st.WriteVT)
+			"%d bytes, write %.3fs (stall %.3fs, overlap %.3fs)",
+			st.RequestVT, st.CaptureVT, st.DrainVT*1e3, st.ImageBytes,
+			st.WriteVT, st.StallVT, st.OverlapVT)
+		if st.Epoch >= 0 {
+			fmt.Printf(", epoch %d: %d fresh / %d reused shards", st.Epoch, st.FreshShards, st.ReusedShards)
+		}
+		fmt.Println()
 	}
 	if !rep.Completed {
 		fmt.Println("job exited at checkpoint (restart to continue)")

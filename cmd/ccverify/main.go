@@ -6,13 +6,19 @@
 // Usage:
 //
 //	ccverify [-ranks N] [-ppn N] [-scale F] [-workloads a,b] [-algos cc,2pc]
-//	         [-min-triggers N] [-max-triggers N] [-negative] [-crossgeo] [-v]
+//	         [-min-triggers N] [-max-triggers N] [-negative] [-crossgeo]
+//	         [-incremental] [-faults] [-v]
 //
 // Beyond the trigger matrix, the default run also verifies (on the first
 // runnable case) that a checkpoint restarts correctly onto a different
-// ranks-per-node geometry (-crossgeo, the allocation-chaining scenario) and
+// ranks-per-node geometry (-crossgeo, the allocation-chaining scenario),
 // that corruption — both of a decoded snapshot and of a single shard inside
-// the encoded sharded image — is detected and attributed (-negative).
+// the encoded sharded image — is detected and attributed (-negative), that
+// the staged asynchronous pipeline's FileStore chains restart digest-
+// identically from every epoch with incremental shard reuse and attributable
+// parent-epoch corruption (-incremental, on the low-churn straggler
+// workload), and that killing a rank mid-drain or mid-capture aborts the
+// coordinator with diagnostics instead of wedging (-faults).
 //
 // The exit status is non-zero if any check fails, making ccverify directly
 // usable as a CI gate.
@@ -40,6 +46,8 @@ func main() {
 		maxTriggers = flag.Int("max-triggers", 16, "trigger sweep cap (stratified sampling beyond)")
 		negative    = flag.Bool("negative", true, "also verify that corrupted images (snapshot and per-shard) are detected")
 		crossgeo    = flag.Bool("crossgeo", true, "also verify restart onto different ranks-per-node geometries")
+		incremental = flag.Bool("incremental", true, "also verify async incremental FileStore chains (straggler workload)")
+		faults      = flag.Bool("faults", true, "also verify rank-death fault injection (mid-drain and mid-capture)")
 		verbose     = flag.Bool("v", false, "log every trigger point")
 	)
 	flag.Parse()
@@ -97,6 +105,45 @@ func main() {
 					failed = true
 				} else {
 					fmt.Printf("%s check (%s/%s): %s\n", v.Name, wl, algo, v.OK)
+				}
+			}
+		}
+	}
+
+	// The incremental-chain sweep runs on the low-churn straggler workload —
+	// most ranks finish early and freeze, so the chain actually reuses
+	// shards — under the first requested algorithm that can run it.
+	if *incremental {
+		algo := algoList[0]
+		if rpt, err := conformance.VerifyIncrementalChain(conformance.DefaultChainWorkload, algo, opts, true); err != nil {
+			fmt.Printf("incremental-chain check (%s/%s): FAIL: %v\n", conformance.DefaultChainWorkload, algo, err)
+			failed = true
+		} else {
+			fmt.Printf("incremental-chain check (%s/%s): %s, ok\n", conformance.DefaultChainWorkload, algo, rpt)
+		}
+	}
+
+	// Fault injection runs on the first runnable matrix case.
+	if *faults {
+		var wl, algo string
+		for _, c := range matrix.Cases {
+			if !c.Skipped {
+				wl, algo = c.Workload, c.Algorithm
+				break
+			}
+		}
+		if wl == "" {
+			fmt.Println("fault-injection checks: skipped (no runnable case in the matrix)")
+		} else if verdicts, err := conformance.VerifyFaultInjection(wl, algo, opts); err != nil {
+			fmt.Printf("fault-injection checks (%s/%s): FAIL: %v\n", wl, algo, err)
+			failed = true
+		} else {
+			for _, v := range verdicts {
+				if v.Err != nil {
+					fmt.Printf("fault %s (%s/%s): FAIL: %v\n", v.Name, wl, algo, v.Err)
+					failed = true
+				} else {
+					fmt.Printf("fault %s (%s/%s): %s\n", v.Name, wl, algo, v.OK)
 				}
 			}
 		}

@@ -46,8 +46,15 @@ func Factory(name string, scale float64) (func(rank int) rt.App, error) {
 		cfg := DefaultSW4Config()
 		cfg.Steps = atLeast(scaleN(cfg.Steps), 2*cfg.StabilityEvery)
 		return func(int) rt.App { return NewSW4Mini(cfg) }, nil
+	case "straggler":
+		// Auxiliary (non-Table-1) workload: uneven rank progress, the
+		// low-churn shape the incremental checkpoint pipeline reuses shards
+		// on. Not part of Names so the paper-figure sweeps stay unchanged.
+		cfg := DefaultStragglerConfig()
+		cfg.HotIters = scaleN(cfg.HotIters)
+		return func(rank int) rt.App { return NewStraggler(cfg, rank) }, nil
 	}
-	return nil, fmt.Errorf("apps: unknown workload %q (known: %v)", name, Names)
+	return nil, fmt.Errorf("apps: unknown workload %q (known: %v + straggler)", name, Names)
 }
 
 // UsesNonblockingCollectives reports whether the workload initiates

@@ -1,0 +1,161 @@
+package apps
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"mana/internal/mpi"
+	"mana/internal/rt"
+)
+
+// StragglerConfig parametrizes the straggler proxy: a task-farm-shaped job
+// with uneven rank progress. A small hot group (always including rank 0)
+// iterates for the full run while the remaining cold ranks finish a short
+// warmup and exit early — the common production shape where stragglers keep
+// an allocation alive long after most ranks are done.
+//
+// It is the canonical low-churn workload for incremental checkpointing:
+// once the cold ranks finish, their upper-half state is frozen, so periodic
+// captures re-write only the hot ranks' shards and record every cold shard
+// as a reference to the epoch that first wrote it.
+type StragglerConfig struct {
+	HotRanks   int // ranks that iterate the full run (>= 1; rank 0 is always hot)
+	ColdSteps  int // iterations the cold ranks perform before finishing
+	HotIters   int // iterations the hot ranks perform
+	StateElems int // per-rank float64 payload (the checkpointed state)
+	// HotStateElems, when positive, overrides StateElems for the hot ranks
+	// (the incremental-checkpoint benchmarks keep hot shards small so the
+	// image bytes live in the frozen cold ranks).
+	HotStateElems int
+}
+
+// DefaultStragglerConfig returns the registered workload's shape.
+func DefaultStragglerConfig() StragglerConfig {
+	return StragglerConfig{HotRanks: 2, ColdSteps: 4, HotIters: 400, StateElems: 256}
+}
+
+// Straggler is the straggler proxy application. Hot and cold ranks each
+// allreduce over their own sub-communicator (created deterministically in
+// Setup), so the early-finishing cold group never blocks the hot group's
+// collectives.
+type Straggler struct {
+	cfg    StragglerConfig
+	target int // this rank's iteration count (HotIters or ColdSteps)
+	hot    bool
+	sub    int // sub-communicator vid (hot/cold split); not serialized
+
+	Iter  int
+	Acc   float64
+	Sum   []byte    // named buffer "sum": allreduce payload
+	State []float64 // bulk per-rank state, mutated only by hot ranks
+}
+
+// NewStraggler creates the straggler app for one rank.
+func NewStraggler(cfg StragglerConfig, rank int) *Straggler {
+	if cfg.HotRanks < 1 {
+		cfg.HotRanks = 1
+	}
+	a := &Straggler{
+		cfg: cfg,
+		hot: rank < cfg.HotRanks,
+		Sum: make([]byte, 8),
+	}
+	if a.hot {
+		a.target = cfg.HotIters
+	} else {
+		a.target = cfg.ColdSteps
+	}
+	if a.target < 1 {
+		a.target = 1
+	}
+	elems := cfg.StateElems
+	if a.hot && cfg.HotStateElems > 0 {
+		elems = cfg.HotStateElems
+	}
+	if elems < 1 {
+		elems = 1
+	}
+	a.State = make([]float64, elems)
+	for i := range a.State {
+		a.State[i] = float64(rank) + float64(i%64)/64
+	}
+	return a
+}
+
+func (a *Straggler) Name() string { return "straggler" }
+
+func (a *Straggler) Setup(env *rt.Env) error {
+	color := 1
+	if env.Rank() < a.cfg.HotRanks {
+		color = 0
+	}
+	a.sub = env.Split(rt.WorldVID, color, env.Rank())
+	return nil
+}
+
+func (a *Straggler) Buffer(id string) []byte {
+	if id == "sum" {
+		return a.Sum
+	}
+	return nil
+}
+
+func (a *Straggler) Step(env *rt.Env) (bool, error) {
+	// A restart from a checkpoint parked at the FINAL allreduce re-issues
+	// the collective and then calls Step once more; the pre-advanced
+	// counter says the program is over, and that call must do no work (the
+	// uninterrupted run never consumes the final result either).
+	if a.Iter >= a.target {
+		return false, nil
+	}
+	// Consume the previous iteration's allreduce result (per the App
+	// contract, post-processing belongs to the step after the blocking
+	// batch).
+	if a.Iter > 0 {
+		a.Acc = mpi.BytesF64(a.Sum)[0] / float64(env.CommSize(a.sub))
+	}
+	// Advance deterministic local state; only hot ranks churn their bulk
+	// payload, and only while iterating.
+	if a.hot {
+		for k := 0; k < 8; k++ {
+			i := (a.Iter*8 + k) % len(a.State)
+			a.State[i] = a.State[i]*0.5 + a.Acc + float64(a.Iter)/float64(a.target)
+		}
+	}
+	env.Compute(2e-6)
+	contrib := a.Acc + a.State[a.Iter%len(a.State)]
+	copy(a.Sum, mpi.F64Bytes([]float64{contrib}))
+	// Program counter advances before the blocking collective.
+	a.Iter++
+	env.Allreduce(a.sub, mpi.OpSum, "sum")
+	return a.Iter < a.target, nil
+}
+
+func (a *Straggler) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(struct {
+		Iter   int
+		Acc    float64
+		Sum    []byte
+		State  []float64
+		Target int
+	}{a.Iter, a.Acc, a.Sum, a.State, a.target})
+	return buf.Bytes(), err
+}
+
+func (a *Straggler) Restore(data []byte) error {
+	var st struct {
+		Iter   int
+		Acc    float64
+		Sum    []byte
+		State  []float64
+		Target int
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	a.Iter, a.Acc, a.target = st.Iter, st.Acc, st.Target
+	copy(a.Sum, st.Sum)
+	copy(a.State, st.State)
+	return nil
+}

@@ -26,6 +26,17 @@
 // compressed and checksummed shard per rank behind a job manifest — encoded
 // and decoded across GOMAXPROCS workers (see image.go). Legacy v1 monolithic
 // images still decode.
+//
+// The checkpoint path is a staged pipeline (see coordinator.go, store.go,
+// FORMAT.md): stage 1 snapshots all ranks while parked; stages 2–3 encode
+// per-rank shards and commit them to a Store as a sealed epoch. With
+// Coordinator.Async the job is released after stage 1 against only the
+// storage open latency — the forked-checkpoint analog — and the write time
+// is accounted as overlap instead of stall. With Coordinator.Incremental a
+// shard whose content hash matches the previous committed epoch is recorded
+// as a reference to the epoch that already holds its bytes; restart
+// resolves the reference chain through the Store and attributes any
+// corruption to the (epoch, rank) that failed.
 package ckpt
 
 import (

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mana/internal/mpi"
+	"mana/internal/netmodel"
 )
 
 // Mode selects what happens after a checkpoint is captured.
@@ -47,12 +48,40 @@ type CheckpointStats struct {
 	CaptureVT  float64 // virtual time the safe state was reached (max rank)
 	DrainVT    float64 // CaptureVT - RequestVT: cost of the drain protocol
 	ImageBytes int64
-	WriteVT    float64 // modeled storage write time charged to the job
+	// WriteVT is the modeled storage write time for the bytes this capture
+	// wrote. Its basis follows what actually travels to storage: the blob
+	// path charges the raw image bytes (ImageBytes), a store commit charges
+	// the compressed fresh-shard bytes, and PaddedBytesPerRank overrides
+	// both (per rank / per fresh shard) — so padded experiments, including
+	// every paper-figure run, are identical across paths.
+	WriteVT float64
+
+	// StallVT and OverlapVT split WriteVT by where it lands: StallVT is
+	// charged to every rank's clock before release (the job-visible stall),
+	// OverlapVT streams behind the resumed job (asynchronous captures, the
+	// forked-checkpoint analog). StallVT + OverlapVT == WriteVT.
+	StallVT   float64
+	OverlapVT float64
+
+	// Epoch is the store epoch this capture committed as, or -1 when the
+	// plan has no store (the image stays an in-memory blob).
+	Epoch int
+
+	// Incremental accounting: how many shards the commit stage wrote fresh
+	// versus referenced unchanged from an earlier epoch, and the compressed
+	// bytes on each side. Zero without a store.
+	FreshShards  int
+	ReusedShards int
+	FreshBytes   int64
+	ReusedBytes  int64
 
 	// CaptureHostSeconds is the wall-clock (host, not virtual) time the
 	// coordinator spent building this checkpoint's job image — the quantity
 	// the parallel capture fan-out shrinks. Purely observational.
 	CaptureHostSeconds float64
+	// CommitHostSeconds is the wall-clock time of the encode+commit stage
+	// (including any wait for the preceding epoch's commit to seal).
+	CommitHostSeconds float64
 
 	// Drain-progress counters, summed across ranks at capture time and
 	// reported as per-checkpoint deltas against their values when THIS
@@ -100,6 +129,20 @@ type Coordinator struct {
 	// not just the last — charges and records the padded size.
 	PaddedBytesPerRank int64
 
+	// Async selects the staged pipeline's overlapped mode: stage 1 (the
+	// all-ranks snapshot) still happens with every rank parked, but the job
+	// is released as soon as it completes, paying only the storage open
+	// latency; the encode and store-commit stages run behind the resumed
+	// execution and their write time is accounted as overlap, not stall —
+	// the forked-checkpoint analog of MANA/DMTCP.
+	Async bool
+
+	// Incremental enables shard reuse across store epochs: a rank whose
+	// clockless shard hashes identically to the previous committed epoch is
+	// recorded as a reference instead of re-encoded and re-written.
+	// Requires a store (SetStore).
+	Incremental bool
+
 	pending atomic.Bool // fast-path flag read in every wrapper
 
 	mu        sync.Mutex
@@ -120,6 +163,20 @@ type Coordinator struct {
 	stats   CheckpointStats
 	history []CheckpointStats
 	err     error
+
+	// Commit stage state. Epochs are assigned at capture time (capture
+	// order == epoch order) and commits seal strictly in epoch order — the
+	// incremental differ diffs each epoch against the previous committed
+	// manifest, so an out-of-order seal would diff against the wrong
+	// parent. commitMu/commitCond implement the ordering ticket; lastMan is
+	// the most recently sealed manifest (both guarded by commitMu).
+	store      *ModelStore
+	nextEpoch  int
+	commitWG   sync.WaitGroup
+	commitMu   sync.Mutex
+	commitCond *sync.Cond
+	committed  int // epochs sealed so far (the next commit ticket)
+	lastMan    *Manifest
 }
 
 // NewCoordinator creates a coordinator for a world. The algorithm is
@@ -128,6 +185,7 @@ type Coordinator struct {
 func NewCoordinator(w *mpi.World, mode Mode) *Coordinator {
 	c := &Coordinator{W: w, Mode: mode}
 	c.cond = sync.NewCond(&c.mu)
+	c.commitCond = sync.NewCond(&c.commitMu)
 	c.parked = make([]bool, w.N)
 	c.descs = make([]*Descriptor, w.N)
 	c.doneRanks = make([]bool, w.N)
@@ -144,6 +202,51 @@ func NewCoordinator(w *mpi.World, mode Mode) *Coordinator {
 
 // SetAlgorithm attaches the job-wide algorithm.
 func (c *Coordinator) SetAlgorithm(a Algorithm) { c.Algo = a }
+
+// SetStore directs the pipeline's commit stage at a store: every capture is
+// encoded into per-rank shards and sealed as a store epoch (in addition to
+// the in-memory JobImage the Result path keeps returning). The store is
+// wrapped in a ModelStore (if it is not one already) so commit traffic is
+// metered through the netmodel storage parameters. Must be called before
+// the first checkpoint request; a nil store restores the blob-only path.
+//
+// A store that already holds sealed epochs is RESUMED, not clobbered:
+// numbering continues after the newest sealed epoch and the incremental
+// differ diffs the first new capture against it — the restart-then-continue
+// pattern, where a restarted allocation keeps checkpointing into the same
+// chain. (Starting at zero would overwrite epoch 0's shards while later
+// epochs still reference them.)
+func (c *Coordinator) SetStore(s Store) error {
+	if s == nil {
+		c.store = nil
+		return nil
+	}
+	ms, ok := s.(*ModelStore)
+	if !ok {
+		ms = NewModelStore(s, c.W.Model, c.nodes())
+	}
+	epochs, err := ms.Epochs()
+	if err != nil {
+		return fmt.Errorf("ckpt: listing store epochs: %w", err)
+	}
+	if len(epochs) > 0 {
+		latest := epochs[len(epochs)-1]
+		man, err := ms.GetManifest(latest)
+		if err != nil {
+			return fmt.Errorf("ckpt: resuming store chain: %w", err)
+		}
+		c.nextEpoch = latest + 1
+		c.committed = latest + 1 // the ordering ticket continues the chain
+		c.lastMan = man
+	}
+	c.store = ms
+	return nil
+}
+
+// nodes returns the writer-node count of the job's placement.
+func (c *Coordinator) nodes() int {
+	return (c.W.N + c.W.Model.PPN - 1) / c.W.Model.PPN
+}
 
 // RegisterRank installs the capture hooks for a rank. Must be called before
 // any checkpoint is requested.
@@ -179,16 +282,27 @@ func (c *Coordinator) Poke() {
 // RequestCheckpoint raises a checkpoint request at the given virtual time.
 // It installs the algorithm's targets (Algorithm 1) and starts the capture
 // watcher. Subsequent requests while one is pending are ignored.
+//
+// A new request is accepted from idle OR from released: a rank that has not
+// yet woken to acknowledge the previous release is still sitting at its
+// park point — state frozen, descriptor accurate, clock already charged —
+// which is exactly a capturable position for the next drain, so chained
+// periodic checkpoints need not wait for scheduling stragglers (with
+// uneven-progress jobs the fast ranks could otherwise burn through every
+// trigger boundary before a slow waker re-enables the chain).
 func (c *Coordinator) RequestCheckpoint(vt float64) bool {
 	c.mu.Lock()
-	if c.ph != phaseIdle {
+	if c.ph != phaseIdle && c.ph != phaseReleased {
 		c.mu.Unlock()
 		return false
 	}
 	c.ph = phasePending
 	c.requestVT = vt
 	c.image = nil
-	c.err = nil
+	// c.err is deliberately NOT reset: with chained periodic checkpoints a
+	// failed capture or commit must survive to Result() even though later
+	// requests keep running — wiping it would let a run whose epoch k never
+	// sealed report success.
 	// Baseline the cumulative drain counters at request time: this
 	// checkpoint's stats will be the deltas accrued by its own drain. The
 	// counters only move while a request is pending (all writes precede the
@@ -293,10 +407,13 @@ func (c *Coordinator) captureRank(r int, img *JobImage) error {
 	return firstErr
 }
 
-// captureLocked builds the job image — snapshotting every rank concurrently
-// across CaptureWorkers (default GOMAXPROCS) workers — charges storage time,
-// verifies invariants, and transitions to released/terminated. Caller holds
-// c.mu, which freezes the parked-rank registry for the worker goroutines.
+// captureLocked runs stage 1 of the checkpoint pipeline — snapshotting every
+// rank concurrently across CaptureWorkers (default GOMAXPROCS) workers while
+// the whole job is parked — then hands the frozen image to the commit path:
+// inline (the job stalls for the full write, today's stop-and-write) or, with
+// Async, in the background after releasing the job against only the storage
+// open latency. Caller holds c.mu, which freezes the parked-rank registry
+// for the worker goroutines.
 func (c *Coordinator) captureLocked() {
 	captureStart := time.Now()
 	if err := c.Algo.VerifySafeState(); err != nil {
@@ -337,6 +454,7 @@ func (c *Coordinator) captureLocked() {
 		CaptureVT:          maxVT,
 		DrainVT:            maxVT - c.requestVT,
 		ImageBytes:         img.TotalBytes(),
+		Epoch:              -1,
 		CaptureHostSeconds: time.Since(captureStart).Seconds(),
 	}
 	// Drain-progress census, as per-checkpoint deltas against the request-
@@ -360,20 +478,74 @@ func (c *Coordinator) captureLocked() {
 			c.stats.DoneAtCapture++
 		}
 	}
-	nodes := (c.W.N + c.W.Model.PPN - 1) / c.W.Model.PPN
-	c.stats.WriteVT = c.W.Model.CheckpointWriteTime(img.TotalBytes(), nodes)
+	nodes := c.nodes()
 	c.image = img
+
+	if c.store == nil || c.err != nil {
+		// Blob-only path (no commit stage) — also taken when the capture
+		// itself FAILED: a broken capture must never seal a durable epoch,
+		// because a fresh process restarting from the store cannot see
+		// c.err and would restore the incomplete image as if it were
+		// healthy. The whole (possibly padded) image is charged against the
+		// storage model — fully stalled by default, or latency-stalled with
+		// the transfer overlapped when Async.
+		cost := c.W.Model.CheckpointWriteCost(img.TotalBytes(), nodes, c.Async)
+		c.stats.WriteVT = cost.Total
+		c.stats.StallVT = cost.Stall
+		c.stats.OverlapVT = cost.Overlap
+		c.history = append(c.history, c.stats)
+		c.releaseLocked(maxVT + cost.Stall)
+		return
+	}
+
+	// Staged pipeline: the epoch is assigned now, under the capture lock, so
+	// epoch order always equals capture order even when commits run in the
+	// background.
+	epoch := c.nextEpoch
+	c.nextEpoch++
+	c.stats.Epoch = epoch
+	histIdx := len(c.history)
 	c.history = append(c.history, c.stats)
 
-	// Charge the checkpoint I/O to every rank and resynchronize clocks
-	// (the job stalls while images stream to storage).
-	resume := maxVT + c.stats.WriteVT
+	if c.Async {
+		// Release the job against only the storage open latency; stages 2–3
+		// run behind the resumed execution on a private (double-buffered)
+		// image — the next capture allocates a fresh one.
+		stall := c.W.Model.CheckpointWriteCost(0, nodes, true).Stall
+		c.stats.StallVT = stall
+		c.history[histIdx].StallVT = stall
+		c.commitWG.Add(1)
+		go func() {
+			res := c.commitEpoch(epoch, img)
+			c.mu.Lock()
+			c.applyCommitLocked(histIdx, res)
+			c.mu.Unlock()
+			c.W.NoteActivity()
+			c.commitWG.Done()
+		}()
+		c.releaseLocked(maxVT + stall)
+		return
+	}
+
+	// Synchronous staged pipeline: commit inline with the job stalled. The
+	// coordinator lock is dropped around the commit — every rank is parked
+	// and the phase is still pending, so the registry cannot change — to
+	// keep the commit path lock-order-free with the background variant.
+	c.mu.Unlock()
+	res := c.commitEpoch(epoch, img)
+	c.mu.Lock()
+	c.applyCommitLocked(histIdx, res)
+	c.releaseLocked(maxVT + c.stats.StallVT)
+}
+
+// releaseLocked charges the resume time to every live rank and transitions
+// the job out of the pending phase. Caller holds c.mu.
+func (c *Coordinator) releaseLocked(resume float64) {
 	for r := 0; r < c.W.N; r++ {
 		if h := c.hooks[r]; h.SetClock != nil && !c.doneRanks[r] {
 			h.SetClock(resume)
 		}
 	}
-
 	c.pending.Store(false)
 	if c.Mode == ExitAfterCapture {
 		c.ph = phaseTerminated
@@ -382,6 +554,114 @@ func (c *Coordinator) captureLocked() {
 	}
 	c.cond.Broadcast()
 	c.W.NoteActivity()
+}
+
+// commitResult carries one epoch commit's outcome back to the stats.
+type commitResult struct {
+	epoch       int
+	stats       *CommitStats
+	cost        netmodel.WriteCost
+	hostSeconds float64
+	err         error
+}
+
+// commitEpoch runs stages 2–3 for one captured image: encode every shard
+// (parallel with other epochs' encodes — it depends only on this image),
+// then under the ordering ticket diff against the previous committed
+// manifest (when Incremental), write fresh shards, and seal the epoch.
+// Called WITHOUT c.mu held.
+func (c *Coordinator) commitEpoch(epoch int, img *JobImage) commitResult {
+	t0 := time.Now()
+	enc, encErr := EncodeCapture(img)
+
+	// The ticket MUST advance even when this epoch fails (encode or commit):
+	// later epochs wait for committed == their number, and a skipped
+	// increment would deadlock every commit behind the failed one.
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
+	for c.committed != epoch {
+		c.commitCond.Wait()
+	}
+	defer func() {
+		c.committed++
+		c.commitCond.Broadcast()
+	}()
+
+	if encErr != nil {
+		return commitResult{epoch: epoch, hostSeconds: time.Since(t0).Seconds(), err: encErr}
+	}
+
+	var parent *Manifest
+	if c.Incremental {
+		parent = c.lastMan
+	}
+	// The ModelStore's metering knobs are per-commit; commits are serialized
+	// by the ordering ticket, so setting them here is race-free.
+	c.store.Nodes = c.nodes()
+	c.store.Overlapped = c.Async
+	c.store.PadShardBytes = c.PaddedBytesPerRank
+	man, st, err := CommitEncoded(c.store, epoch, parent, img, enc)
+	if err != nil {
+		// Discard any bytes metered before the failure so the next sealed
+		// epoch's cost is not over-charged.
+		c.store.AbortEpoch()
+		return commitResult{epoch: epoch, hostSeconds: time.Since(t0).Seconds(), err: err}
+	}
+	c.lastMan = man
+	return commitResult{
+		epoch: epoch, stats: st, cost: c.store.EpochCost(epoch),
+		hostSeconds: time.Since(t0).Seconds(),
+	}
+}
+
+// applyCommitLocked folds a commit's outcome into the history entry it
+// belongs to (and into the headline stats when that entry is still the
+// newest capture). Caller holds c.mu.
+func (c *Coordinator) applyCommitLocked(histIdx int, res commitResult) {
+	e := &c.history[histIdx]
+	e.CommitHostSeconds = res.hostSeconds
+	if res.err != nil {
+		// The failed epoch's cost fields deliberately stay zero (no write
+		// time is charged for an epoch that never sealed); the run itself
+		// is failed — Result surfaces this error — so its virtual-time
+		// metrics are void either way.
+		if c.err == nil {
+			c.err = fmt.Errorf("ckpt: committing epoch %d: %w", res.epoch, res.err)
+		}
+	} else {
+		e.WriteVT = res.cost.Total
+		e.StallVT = res.cost.Stall
+		e.OverlapVT = res.cost.Overlap
+		e.FreshShards = res.stats.FreshShards
+		e.ReusedShards = res.stats.ReusedShards
+		e.FreshBytes = res.stats.FreshBytes
+		e.ReusedBytes = res.stats.ReusedBytes
+	}
+	if histIdx == len(c.history)-1 {
+		c.stats = *e
+	}
+}
+
+// WaitCommits blocks until every in-flight background commit has sealed its
+// epoch. Result and History wait implicitly (via drainPending, which first
+// waits out an in-flight capture).
+func (c *Coordinator) WaitCommits() { c.commitWG.Wait() }
+
+// drainPending waits for any in-flight capture to complete before waiting
+// out its background commit. A chained request can be accepted just as the
+// final ranks finish: the capture watcher then runs concurrently with the
+// caller reading results, and its async commit would otherwise register
+// with the WaitGroup only after WaitCommits had already returned —
+// committing to the store after the run reported. The wait gives up if the
+// world dies (the watcher exits without a phase transition on abort; for a
+// wedged drain the watchdog's abort is what wakes us).
+func (c *Coordinator) drainPending() {
+	c.mu.Lock()
+	for c.ph == phasePending && c.W.AbortErr() == nil {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+	c.commitWG.Wait()
 }
 
 // ParkUntil parks the rank at a capturable point described by d. decide is
@@ -454,16 +734,20 @@ func (c *Coordinator) FinishRank(rank int) {
 	c.W.NoteActivity()
 }
 
-// Outcome returns the checkpoint results once a capture has happened.
+// Result returns the checkpoint results once a capture has happened, first
+// draining any in-flight capture and its background commit.
 func (c *Coordinator) Result() (*JobImage, CheckpointStats, error) {
+	c.drainPending()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.image, c.stats, c.err
 }
 
 // History returns the statistics of every checkpoint captured during the
-// run (periodic checkpointing captures several).
+// run (periodic checkpointing captures several), first draining any
+// in-flight capture and commit so every entry's write accounting is final.
 func (c *Coordinator) History() []CheckpointStats {
+	c.drainPending()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]CheckpointStats, len(c.history))

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -53,18 +54,53 @@ var (
 // float-heavy application state) compress well even at the fastest level.
 const shardCompression = flate.BestSpeed
 
-// ShardInfo locates and authenticates one rank's shard inside a v2 image.
+// ShardInfo locates and authenticates one rank's shard inside a v2 image or
+// a v3 store epoch. The RefEpoch/ClockVT/RawSum fields are meaningful only in
+// v3 manifests (see FORMAT.md); v2 blob images leave them zero.
 type ShardInfo struct {
 	Rank     int
-	Offset   int64  // into the shard data section (after the manifest)
+	Offset   int64  // into the shard data section (after the manifest); 0 in stores
 	Size     int64  // compressed shard bytes
 	RawSize  int64  // gob bytes before compression
 	Checksum uint64 // FNV-1a over the compressed shard blob
+
+	// RefEpoch is the store epoch whose shard data holds this rank's bytes.
+	// Equal to the manifest's own Epoch for freshly written shards; an
+	// earlier epoch for shards reused unchanged from a prior capture
+	// (incremental checkpointing). Reference chains are collapsed at commit
+	// time, so RefEpoch always names the epoch that physically wrote the
+	// blob.
+	RefEpoch int
+	// ClockVT is the rank's virtual clock at capture. v3 shard blobs are
+	// encoded with the clock zeroed — it is the one field that changes every
+	// capture even for an otherwise idle rank, and keeping it out of the
+	// blob is what makes shard reuse possible. Restart re-applies it from
+	// here.
+	ClockVT float64
+	// RawSum is the FNV-1a checksum of the raw (pre-compression, clock-
+	// zeroed) shard gob — the identity the incremental differ compares
+	// against the previous epoch.
+	RawSum uint64
 }
 
-// Manifest is the v2 job-level header: the geometry needed to rebuild the
+// Manifest versions. Zero-valued Version means v2 (the version field
+// predates nothing: v2 blob manifests never carried one).
+const (
+	// ManifestV2 is the in-blob manifest of a self-contained sharded image:
+	// shard blobs follow the manifest, located by Offset, with the rank
+	// clock inside the shard gob.
+	ManifestV2 = 0
+	// ManifestV3 is the store-epoch manifest: shards live as individual
+	// store objects (RefEpoch, Rank), possibly in earlier epochs, with the
+	// rank clock carried per shard in the manifest itself.
+	ManifestV3 = 3
+)
+
+// Manifest is the job-level header: the geometry needed to rebuild the
 // lower half plus the shard table. It deliberately duplicates the JobImage
 // header fields so tools can inspect an image without touching shard data.
+// In v2 blob images it sits between the header and the shard data; in a
+// Store each epoch has one, sealed as the epoch's commit record.
 type Manifest struct {
 	Algorithm          string
 	Ranks              int
@@ -72,6 +108,14 @@ type Manifest struct {
 	CaptureVT          float64
 	PaddedBytesPerRank int64
 	Shards             []ShardInfo
+
+	// Version discriminates blob (v2) from store-epoch (v3) manifests.
+	Version int
+	// Epoch is this capture's position in the store's chain (0-based);
+	// Parent is the epoch the incremental differ diffed against, -1 for a
+	// full capture with no parent. Both are -1/0-valued in v2 blobs.
+	Epoch  int
+	Parent int
 }
 
 // encodeWorkers bounds a fan-out at GOMAXPROCS (and at the job size).
@@ -118,6 +162,30 @@ func fanOut(jobs, workers int, fn func(i int)) {
 // encode of small shards (hundreds of ranks x one fresh writer each).
 var flateWriters = sync.Pool{}
 
+// compressShard flate-compresses one rank's raw shard gob, recycling
+// writers through flateWriters.
+func compressShard(rank int, raw []byte) ([]byte, error) {
+	var out bytes.Buffer
+	out.Grow(len(raw)/4 + 64)
+	fw, _ := flateWriters.Get().(*flate.Writer)
+	if fw == nil {
+		var err error
+		if fw, err = flate.NewWriter(&out, shardCompression); err != nil {
+			return nil, fmt.Errorf("ckpt: rank %d shard compressor: %w", rank, err)
+		}
+	} else {
+		fw.Reset(&out)
+	}
+	if _, err := fw.Write(raw); err != nil {
+		return nil, fmt.Errorf("ckpt: compressing rank %d shard: %w", rank, err)
+	}
+	if err := fw.Close(); err != nil {
+		return nil, fmt.Errorf("ckpt: compressing rank %d shard: %w", rank, err)
+	}
+	flateWriters.Put(fw)
+	return out.Bytes(), nil
+}
+
 // encodeShard serializes one rank image: gob, then flate. Returns the
 // compressed blob and the raw (pre-compression) gob size.
 func encodeShard(ri *RankImage) ([]byte, int64, error) {
@@ -125,40 +193,62 @@ func encodeShard(ri *RankImage) ([]byte, int64, error) {
 	if err := gob.NewEncoder(&raw).Encode(ri); err != nil {
 		return nil, 0, fmt.Errorf("ckpt: encoding rank %d shard: %w", ri.Rank, err)
 	}
-	var out bytes.Buffer
-	out.Grow(raw.Len()/4 + 64)
-	fw, _ := flateWriters.Get().(*flate.Writer)
-	if fw == nil {
-		var err error
-		if fw, err = flate.NewWriter(&out, shardCompression); err != nil {
-			return nil, 0, fmt.Errorf("ckpt: rank %d shard compressor: %w", ri.Rank, err)
-		}
-	} else {
-		fw.Reset(&out)
+	blob, err := compressShard(ri.Rank, raw.Bytes())
+	if err != nil {
+		return nil, 0, err
 	}
-	if _, err := fw.Write(raw.Bytes()); err != nil {
-		return nil, 0, fmt.Errorf("ckpt: compressing rank %d shard: %w", ri.Rank, err)
-	}
-	if err := fw.Close(); err != nil {
-		return nil, 0, fmt.Errorf("ckpt: compressing rank %d shard: %w", ri.Rank, err)
-	}
-	flateWriters.Put(fw)
-	return out.Bytes(), int64(raw.Len()), nil
+	return blob, int64(raw.Len()), nil
 }
 
-// decodeShard reverses encodeShard.
+// shardPreallocCap bounds the decode buffer preallocated from a manifest's
+// RawSize. The manifest is attacker-ish input (a corrupted image must fail
+// cleanly); trusting an absurd RawSize would turn a flipped bit into a
+// multi-gigabyte allocation. Larger shards still decode — the buffer grows
+// as the decompressor actually produces bytes.
+const shardPreallocCap = 8 << 20
+
+// decodeShard reverses encodeShard. rawSize is the manifest's declared
+// pre-compression size; a mismatch with what the decompressor produces is
+// reported as corruption.
 func decodeShard(blob []byte, rawSize int64) (*RankImage, error) {
+	if rawSize < 0 {
+		return nil, fmt.Errorf("negative raw size %d", rawSize)
+	}
+	prealloc := rawSize
+	if prealloc > shardPreallocCap {
+		prealloc = shardPreallocCap
+	}
 	fr := flate.NewReader(bytes.NewReader(blob))
 	defer fr.Close()
-	raw := bytes.NewBuffer(make([]byte, 0, rawSize))
+	raw := bytes.NewBuffer(make([]byte, 0, prealloc))
 	if _, err := io.Copy(raw, fr); err != nil {
 		return nil, fmt.Errorf("decompressing: %w", err)
+	}
+	if int64(raw.Len()) != rawSize {
+		return nil, fmt.Errorf("raw size mismatch: decompressed %d bytes, manifest says %d", raw.Len(), rawSize)
 	}
 	var ri RankImage
 	if err := gob.NewDecoder(raw).Decode(&ri); err != nil {
 		return nil, fmt.Errorf("decoding: %w", err)
 	}
 	return &ri, nil
+}
+
+// encodeShardRawClockless gob-encodes one rank image for a store epoch with
+// ClockVT zeroed (the clock travels in the manifest's ShardInfo instead),
+// so a rank whose state did not change between captures produces
+// byte-identical raw gobs — the identity the incremental differ keys on.
+// Compression is deliberately NOT performed here: the differ decides from
+// the raw hash whether the shard is reused, and only fresh shards are worth
+// compressing (on a low-churn job most shards are not).
+func encodeShardRawClockless(ri *RankImage) (raw []byte, rawSum uint64, err error) {
+	clockless := *ri
+	clockless.ClockVT = 0
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&clockless); err != nil {
+		return nil, 0, fmt.Errorf("ckpt: encoding rank %d shard: %w", ri.Rank, err)
+	}
+	return buf.Bytes(), checksumOf(buf.Bytes()), nil
 }
 
 func checksumOf(b []byte) uint64 {
@@ -296,8 +386,99 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 	if err := gob.NewDecoder(bytes.NewReader(head)).Decode(&man); err != nil {
 		return nil, fmt.Errorf("ckpt: decoding image manifest: %w", err)
 	}
+	if err := man.validate(int64(len(data)) - 20 - headLen); err != nil {
+		return nil, err
+	}
+	return &man, nil
+}
+
+// validate sanity-checks a decoded manifest's shard table so that corrupted
+// or hostile metadata fails with a diagnostic instead of driving later
+// slicing or allocation off a cliff. shardDataLen is the length of the shard
+// data region the offsets index (pass a negative value to skip the bounds
+// checks, e.g. for store manifests whose shards live in per-rank objects).
+func (man *Manifest) validate(shardDataLen int64) error {
+	if man.Ranks < 0 {
+		return fmt.Errorf("ckpt: manifest declares %d ranks", man.Ranks)
+	}
 	if len(man.Shards) != man.Ranks {
-		return nil, fmt.Errorf("ckpt: manifest lists %d shards for %d ranks", len(man.Shards), man.Ranks)
+		return fmt.Errorf("ckpt: manifest lists %d shards for %d ranks", len(man.Shards), man.Ranks)
+	}
+	for i := range man.Shards {
+		si := &man.Shards[i]
+		// Every producer writes the shard table in rank order (shard i IS
+		// rank i), and consumers index job images by rank; a permuted or
+		// duplicated table would silently restore the wrong rank's state,
+		// so identity is enforced rather than assumed.
+		if si.Rank != i {
+			return fmt.Errorf("ckpt: shard %d names rank %d (table must be in rank order)", i, si.Rank)
+		}
+		if si.Size < 0 || si.RawSize < 0 || si.Offset < 0 {
+			return fmt.Errorf("ckpt: rank %d shard has negative geometry (offset %d, size %d, raw %d)",
+				si.Rank, si.Offset, si.Size, si.RawSize)
+		}
+		if si.Offset > math.MaxInt64-si.Size {
+			return fmt.Errorf("ckpt: rank %d shard geometry overflows (offset %d, size %d)",
+				si.Rank, si.Offset, si.Size)
+		}
+		if shardDataLen >= 0 && si.Offset+si.Size > shardDataLen {
+			return fmt.Errorf("ckpt: rank %d shard [%d:%d) exceeds %d bytes of shard data",
+				si.Rank, si.Offset, si.Offset+si.Size, shardDataLen)
+		}
+		if man.Version >= ManifestV3 && (si.RefEpoch < 0 || si.RefEpoch > man.Epoch) {
+			return fmt.Errorf("ckpt: rank %d shard references epoch %d from epoch %d",
+				si.Rank, si.RefEpoch, man.Epoch)
+		}
+	}
+	return nil
+}
+
+// manifestRecordMagic heads a standalone manifest record — the per-epoch
+// commit file a Store seals each capture with (see FORMAT.md). The layout
+// after the magic matches the in-blob v2 header: u32 gob length, u64 FNV-1a
+// checksum, manifest gob.
+var manifestRecordMagic = []byte("MANAMFT3")
+
+// EncodeManifestRecord serializes a manifest as a standalone, checksummed
+// record (the store's per-epoch manifest object).
+func EncodeManifestRecord(man *Manifest) ([]byte, error) {
+	var head bytes.Buffer
+	if err := gob.NewEncoder(&head).Encode(man); err != nil {
+		return nil, fmt.Errorf("ckpt: encoding manifest record: %w", err)
+	}
+	out := make([]byte, 0, 20+head.Len())
+	out = append(out, manifestRecordMagic...)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(head.Len()))
+	out = append(out, u32[:]...)
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], checksumOf(head.Bytes()))
+	out = append(out, u64[:]...)
+	out = append(out, head.Bytes()...)
+	return out, nil
+}
+
+// DecodeManifestRecord reverses EncodeManifestRecord, verifying the magic
+// and checksum and validating the shard table.
+func DecodeManifestRecord(data []byte) (*Manifest, error) {
+	if len(data) < 20 || !bytes.Equal(data[:len(manifestRecordMagic)], manifestRecordMagic) {
+		return nil, fmt.Errorf("ckpt: not a manifest record (%d bytes)", len(data))
+	}
+	headLen := int64(binary.LittleEndian.Uint32(data[8:12]))
+	wantSum := binary.LittleEndian.Uint64(data[12:20])
+	if int64(len(data)) != 20+headLen {
+		return nil, fmt.Errorf("ckpt: manifest record truncated (needs %d bytes, have %d)", 20+headLen, len(data))
+	}
+	head := data[20:]
+	if got := checksumOf(head); got != wantSum {
+		return nil, fmt.Errorf("ckpt: manifest record corrupted (checksum %x, want %x)", got, wantSum)
+	}
+	var man Manifest
+	if err := gob.NewDecoder(bytes.NewReader(head)).Decode(&man); err != nil {
+		return nil, fmt.Errorf("ckpt: decoding manifest record: %w", err)
+	}
+	if err := man.validate(-1); err != nil {
+		return nil, err
 	}
 	return &man, nil
 }
@@ -341,6 +522,10 @@ func decodeV2(data []byte) (*JobImage, error) {
 		ri, err := decodeShard(blob, man.Shards[i].RawSize)
 		if err != nil {
 			errs[i] = err
+			return
+		}
+		if ri.Rank != man.Shards[i].Rank {
+			errs[i] = fmt.Errorf("shard content is for rank %d", ri.Rank)
 			return
 		}
 		ji.Images[i] = *ri

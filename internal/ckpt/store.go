@@ -1,0 +1,621 @@
+package ckpt
+
+// Checkpoint stores: where the staged pipeline's commit stage lands.
+//
+// A Store holds a chain of capture epochs. Each epoch has one sealed
+// manifest (v3, see FORMAT.md) and zero or more shard objects — zero when
+// every rank's state was unchanged and all shards are references into
+// earlier epochs. Sealing order is the commit contract: shards first, the
+// manifest last, so a crash mid-commit leaves a dangling unsealed epoch that
+// Epochs() simply does not report.
+//
+// Three implementations:
+//
+//   - MemStore: a map; the default commit target when a plan enables the
+//     staged pipeline without naming a store.
+//   - FileStore: one directory per epoch, one file per fresh shard plus the
+//     sealed manifest — the on-disk layout a real MANA-style per-rank image
+//     tree collapses into.
+//   - ModelStore: a decorator that meters every write through the netmodel
+//     storage parameters, turning commit traffic into the virtual-time
+//     write cost the coordinator charges as stall (synchronous captures) or
+//     overlap (asynchronous ones).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"mana/internal/netmodel"
+)
+
+// Store is the commit target of the checkpoint pipeline: a keyed blob space
+// for shard objects plus a sealed manifest per epoch.
+type Store interface {
+	// PutShard stores one rank's compressed shard blob under (epoch, rank).
+	PutShard(epoch, rank int, blob []byte) error
+	// GetShard retrieves a blob written by PutShard.
+	GetShard(epoch, rank int) ([]byte, error)
+	// PutManifest seals an epoch; a Store reports an epoch from Epochs only
+	// once its manifest is committed.
+	PutManifest(epoch int, man *Manifest) error
+	// GetManifest retrieves a sealed epoch's manifest.
+	GetManifest(epoch int) (*Manifest, error)
+	// Epochs lists sealed epochs in ascending order.
+	Epochs() ([]int, error)
+}
+
+// ---------------------------------------------------------------- MemStore
+
+// MemStore is an in-memory Store. Safe for concurrent use.
+type MemStore struct {
+	mu     sync.Mutex
+	shards map[[2]int][]byte
+	mans   map[int][]byte // sealed manifests, kept encoded (decode = private copy)
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{shards: make(map[[2]int][]byte), mans: make(map[int][]byte)}
+}
+
+// PutShard implements Store.
+func (s *MemStore) PutShard(epoch, rank int, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shards[[2]int{epoch, rank}] = append([]byte(nil), blob...)
+	return nil
+}
+
+// GetShard implements Store. The blob is copied out: callers may mutate
+// what they get back (corruption probes do) without corrupting the stored
+// shard that later epochs reference.
+func (s *MemStore) GetShard(epoch, rank int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob, ok := s.shards[[2]int{epoch, rank}]
+	if !ok {
+		return nil, fmt.Errorf("ckpt: store has no shard for epoch %d rank %d", epoch, rank)
+	}
+	return append([]byte(nil), blob...), nil
+}
+
+// PutManifest implements Store.
+func (s *MemStore) PutManifest(epoch int, man *Manifest) error {
+	rec, err := EncodeManifestRecord(man)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mans[epoch] = rec
+	return nil
+}
+
+// GetManifest implements Store.
+func (s *MemStore) GetManifest(epoch int) (*Manifest, error) {
+	s.mu.Lock()
+	rec, ok := s.mans[epoch]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("ckpt: store has no epoch %d", epoch)
+	}
+	return DecodeManifestRecord(rec)
+}
+
+// Epochs implements Store.
+func (s *MemStore) Epochs() ([]int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.mans))
+	for e := range s.mans {
+		out = append(out, e)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// --------------------------------------------------------------- FileStore
+
+// FileStore keeps each epoch in its own directory:
+//
+//	<root>/epoch-000000/rank-000000.shard   (fresh shards only)
+//	<root>/epoch-000000/manifest.ckpt       (sealed last)
+//
+// An epoch directory without a manifest is an aborted commit and is ignored.
+type FileStore struct {
+	Root string
+}
+
+// NewFileStore opens (creating if needed) a file store rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: creating store root: %w", err)
+	}
+	return &FileStore{Root: dir}, nil
+}
+
+// EpochDir returns the directory of one epoch.
+func (s *FileStore) EpochDir(epoch int) string {
+	return filepath.Join(s.Root, fmt.Sprintf("epoch-%06d", epoch))
+}
+
+// ShardPath returns the file a fresh shard is written to. Conformance's
+// corruption probes use it to damage specific shards in place.
+func (s *FileStore) ShardPath(epoch, rank int) string {
+	return filepath.Join(s.EpochDir(epoch), fmt.Sprintf("rank-%06d.shard", rank))
+}
+
+// ManifestPath returns an epoch's manifest file.
+func (s *FileStore) ManifestPath(epoch int) string {
+	return filepath.Join(s.EpochDir(epoch), "manifest.ckpt")
+}
+
+// PutShard implements Store.
+func (s *FileStore) PutShard(epoch, rank int, blob []byte) error {
+	if err := os.MkdirAll(s.EpochDir(epoch), 0o755); err != nil {
+		return fmt.Errorf("ckpt: creating epoch %d dir: %w", epoch, err)
+	}
+	if err := os.WriteFile(s.ShardPath(epoch, rank), blob, 0o644); err != nil {
+		return fmt.Errorf("ckpt: writing epoch %d rank %d shard: %w", epoch, rank, err)
+	}
+	return nil
+}
+
+// GetShard implements Store.
+func (s *FileStore) GetShard(epoch, rank int) ([]byte, error) {
+	blob, err := os.ReadFile(s.ShardPath(epoch, rank))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: reading epoch %d rank %d shard: %w", epoch, rank, err)
+	}
+	return blob, nil
+}
+
+// PutManifest implements Store. The seal must be atomic — Epochs() treats
+// the manifest file's existence as "sealed", so a crash mid-write may not
+// leave a partial manifest behind; the record is written to a temp file and
+// renamed into place.
+func (s *FileStore) PutManifest(epoch int, man *Manifest) error {
+	rec, err := EncodeManifestRecord(man)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(s.EpochDir(epoch), 0o755); err != nil {
+		return fmt.Errorf("ckpt: creating epoch %d dir: %w", epoch, err)
+	}
+	tmp := s.ManifestPath(epoch) + ".tmp"
+	if err := os.WriteFile(tmp, rec, 0o644); err != nil {
+		return fmt.Errorf("ckpt: sealing epoch %d manifest: %w", epoch, err)
+	}
+	if err := os.Rename(tmp, s.ManifestPath(epoch)); err != nil {
+		return fmt.Errorf("ckpt: sealing epoch %d manifest: %w", epoch, err)
+	}
+	return nil
+}
+
+// GetManifest implements Store.
+func (s *FileStore) GetManifest(epoch int) (*Manifest, error) {
+	rec, err := os.ReadFile(s.ManifestPath(epoch))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: reading epoch %d manifest: %w", epoch, err)
+	}
+	man, err := DecodeManifestRecord(rec)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: epoch %d: %w", epoch, err)
+	}
+	return man, nil
+}
+
+// Epochs implements Store.
+func (s *FileStore) Epochs() ([]int, error) {
+	ents, err := os.ReadDir(s.Root)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: listing store root: %w", err)
+	}
+	var out []int
+	for _, ent := range ents {
+		var e int
+		if !ent.IsDir() {
+			continue
+		}
+		if _, err := fmt.Sscanf(ent.Name(), "epoch-%d", &e); err != nil {
+			continue
+		}
+		// Strict match: Sscanf tolerates trailing garbage and odd widths,
+		// so a stray "epoch-000003.bak" would otherwise alias epoch 3 and
+		// surface it twice.
+		if ent.Name() != fmt.Sprintf("epoch-%06d", e) {
+			continue
+		}
+		if _, err := os.Stat(s.ManifestPath(e)); err != nil {
+			continue // unsealed (aborted) epoch
+		}
+		out = append(out, e)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// -------------------------------------------------------------- ModelStore
+
+// ModelStore decorates a Store with the netmodel's storage cost model:
+// every shard and manifest written through it is metered, and each sealed
+// epoch's traffic is converted into a netmodel.WriteCost. The coordinator
+// commits through a ModelStore and charges the resulting Stall to the rank
+// clocks (the whole write for synchronous captures, only the open latency
+// for asynchronous ones, with the transfer accounted as Overlap).
+type ModelStore struct {
+	Inner Store
+	Model *netmodel.Model
+
+	// Nodes is the writer-node count the bandwidth model fans out over.
+	Nodes int
+	// Overlapped selects the forked-checkpoint cost split (see
+	// netmodel.CheckpointWriteCost).
+	Overlapped bool
+	// PadShardBytes, when positive, charges every fresh shard at this size
+	// instead of its actual blob length (reproducing the paper's padded
+	// image sizes). Reused shards are never charged — that is the
+	// incremental win.
+	PadShardBytes int64
+
+	mu      sync.Mutex
+	pending int64 // bytes accumulated toward the next sealed epoch
+	costs   map[int]netmodel.WriteCost
+}
+
+// NewModelStore wraps a store with the storage cost model.
+func NewModelStore(inner Store, model *netmodel.Model, nodes int) *ModelStore {
+	return &ModelStore{Inner: inner, Model: model, Nodes: nodes, costs: make(map[int]netmodel.WriteCost)}
+}
+
+// PutShard implements Store, metering the write.
+func (s *ModelStore) PutShard(epoch, rank int, blob []byte) error {
+	if err := s.Inner.PutShard(epoch, rank, blob); err != nil {
+		return err
+	}
+	charged := int64(len(blob))
+	if s.PadShardBytes > 0 {
+		charged = s.PadShardBytes
+	}
+	s.mu.Lock()
+	s.pending += charged
+	s.mu.Unlock()
+	return nil
+}
+
+// GetShard implements Store.
+func (s *ModelStore) GetShard(epoch, rank int) ([]byte, error) { return s.Inner.GetShard(epoch, rank) }
+
+// PutManifest implements Store. Sealing the epoch converts the bytes
+// accumulated since the previous seal into that epoch's write cost.
+func (s *ModelStore) PutManifest(epoch int, man *Manifest) error {
+	if err := s.Inner.PutManifest(epoch, man); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.costs[epoch] = s.Model.CheckpointWriteCost(s.pending, s.Nodes, s.Overlapped)
+	s.pending = 0
+	return nil
+}
+
+// GetManifest implements Store.
+func (s *ModelStore) GetManifest(epoch int) (*Manifest, error) { return s.Inner.GetManifest(epoch) }
+
+// Epochs implements Store.
+func (s *ModelStore) Epochs() ([]int, error) { return s.Inner.Epochs() }
+
+// EpochCost returns the modeled write cost of a sealed epoch (zero-valued
+// if the epoch was not committed through this ModelStore instance).
+func (s *ModelStore) EpochCost(epoch int) netmodel.WriteCost {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.costs[epoch]
+}
+
+// AbortEpoch discards bytes metered toward an epoch whose commit failed
+// before sealing, so they are not charged to the next sealed epoch's cost.
+func (s *ModelStore) AbortEpoch() {
+	s.mu.Lock()
+	s.pending = 0
+	s.mu.Unlock()
+}
+
+// ------------------------------------------------------------ commit stage
+
+// CommitStats summarizes one epoch commit: the incremental differ's verdict
+// plus the bytes that actually traveled to storage.
+type CommitStats struct {
+	Epoch        int
+	FreshShards  int
+	ReusedShards int
+	FreshBytes   int64 // compressed bytes written this epoch
+	ReusedBytes  int64 // compressed bytes referenced from earlier epochs
+}
+
+// CommitCapture runs stages 2–3 of the checkpoint pipeline for one captured
+// job image: encode every rank's shard (fanned out across GOMAXPROCS
+// workers), diff against the parent manifest, write the fresh shards, and
+// seal the epoch's manifest. parent is the previously committed manifest
+// (nil for the chain's first epoch, or when incremental reuse is disabled).
+//
+// A shard is reused when its clockless raw gob hashes identically (RawSum,
+// RawSize) to the parent epoch's entry for the same rank; the manifest then
+// records a reference to the epoch that physically holds the bytes
+// (reference chains are collapsed: RefEpoch is copied from the parent
+// entry, never left pointing at an intermediate reference).
+func CommitCapture(store Store, epoch int, parent *Manifest, img *JobImage) (*Manifest, *CommitStats, error) {
+	enc, err := EncodeCapture(img)
+	if err != nil {
+		return nil, nil, err
+	}
+	return CommitEncoded(store, epoch, parent, img, enc)
+}
+
+// EncodedCapture holds stage 2a's output: every rank's clockless raw shard
+// gob and its content hash. It depends only on the image — not on the
+// parent manifest — so the coordinator computes it BEFORE taking the
+// epoch-ordering ticket, letting concurrent background commits encode in
+// parallel instead of queueing their CPU work behind the previous epoch.
+type EncodedCapture struct {
+	Raws [][]byte
+	Sums []uint64
+}
+
+// EncodeCapture gob-encodes every rank's clockless shard across GOMAXPROCS
+// workers.
+func EncodeCapture(img *JobImage) (*EncodedCapture, error) {
+	n := len(img.Images)
+	enc := &EncodedCapture{Raws: make([][]byte, n), Sums: make([]uint64, n)}
+	errs := make([]error, n)
+	fanOut(n, encodeWorkers(n), func(i int) {
+		enc.Raws[i], enc.Sums[i], errs[i] = encodeShardRawClockless(&img.Images[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return enc, nil
+}
+
+// CommitEncoded runs the ordered tail of the commit: diff the encoded
+// shards against the parent manifest, compress and write the fresh set,
+// seal the manifest.
+func CommitEncoded(store Store, epoch int, parent *Manifest, img *JobImage, enc *EncodedCapture) (*Manifest, *CommitStats, error) {
+	n := len(img.Images)
+	raws, sums := enc.Raws, enc.Sums
+
+	parentByRank := make(map[int]*ShardInfo)
+	if parent != nil {
+		for i := range parent.Shards {
+			parentByRank[parent.Shards[i].Rank] = &parent.Shards[i]
+		}
+	}
+
+	man := &Manifest{
+		Algorithm:          img.Algorithm,
+		Ranks:              img.Ranks,
+		PPN:                img.PPN,
+		CaptureVT:          img.CaptureVT,
+		PaddedBytesPerRank: img.PaddedBytesPerRank,
+		Shards:             make([]ShardInfo, n),
+		Version:            ManifestV3,
+		Epoch:              epoch,
+		Parent:             -1,
+	}
+	if parent != nil {
+		man.Parent = parent.Epoch
+	}
+
+	// Diff against the parent BEFORE compressing: on the low-churn jobs
+	// incremental checkpointing targets, most shards are references and
+	// compressing them would be pure waste. Only the fresh set is
+	// compressed (in parallel).
+	st := &CommitStats{Epoch: epoch}
+	fresh := make([]int, 0, n)
+	for i := range img.Images {
+		ri := &img.Images[i]
+		si := ShardInfo{
+			Rank:     ri.Rank,
+			RawSize:  int64(len(raws[i])),
+			RawSum:   sums[i],
+			ClockVT:  ri.ClockVT,
+			RefEpoch: epoch,
+		}
+		if p := parentByRank[ri.Rank]; p != nil && p.RawSum == sums[i] && p.RawSize == int64(len(raws[i])) {
+			// Unchanged since the parent capture: reference the bytes where
+			// they already live instead of rewriting them.
+			si.RefEpoch = p.RefEpoch
+			si.Size = p.Size
+			si.Checksum = p.Checksum
+			st.ReusedShards++
+			st.ReusedBytes += p.Size
+		} else {
+			fresh = append(fresh, i)
+		}
+		man.Shards[i] = si
+	}
+
+	blobs := make([][]byte, len(fresh))
+	cerrs := make([]error, len(fresh))
+	fanOut(len(fresh), encodeWorkers(len(fresh)), func(j int) {
+		blobs[j], cerrs[j] = compressShard(img.Images[fresh[j]].Rank, raws[fresh[j]])
+	})
+	for _, err := range cerrs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	for j, i := range fresh {
+		si := &man.Shards[i]
+		si.Size = int64(len(blobs[j]))
+		si.Checksum = checksumOf(blobs[j])
+		if err := store.PutShard(epoch, si.Rank, blobs[j]); err != nil {
+			return nil, nil, err
+		}
+		st.FreshShards++
+		st.FreshBytes += si.Size
+	}
+	if err := store.PutManifest(epoch, man); err != nil {
+		return nil, nil, err
+	}
+	return man, st, nil
+}
+
+// ------------------------------------------------------------- load/verify
+
+// LatestEpoch returns the store's newest sealed epoch.
+func LatestEpoch(store Store) (int, error) {
+	epochs, err := store.Epochs()
+	if err != nil {
+		return 0, err
+	}
+	if len(epochs) == 0 {
+		return 0, fmt.Errorf("ckpt: store holds no sealed epochs")
+	}
+	return epochs[len(epochs)-1], nil
+}
+
+// LoadJobImage materializes one epoch's job image from a store, resolving
+// shard references through the chain and verifying every shard's checksum.
+// Failures name the epoch and rank (and the referenced epoch physically
+// holding the bytes) so a damaged chain is attributable.
+func LoadJobImage(store Store, epoch int) (*JobImage, error) {
+	man, err := store.GetManifest(epoch)
+	if err != nil {
+		return nil, err
+	}
+	ji := &JobImage{
+		Algorithm:          man.Algorithm,
+		Ranks:              man.Ranks,
+		PPN:                man.PPN,
+		CaptureVT:          man.CaptureVT,
+		PaddedBytesPerRank: man.PaddedBytesPerRank,
+		Images:             make([]RankImage, len(man.Shards)),
+	}
+	errs := make([]error, len(man.Shards))
+	fanOut(len(man.Shards), encodeWorkers(len(man.Shards)), func(i int) {
+		si := &man.Shards[i]
+		ri, err := loadShard(store, man, si)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		ji.Images[i] = *ri
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ji, nil
+}
+
+// loadShard fetches, verifies, and decodes one shard through its reference.
+func loadShard(store Store, man *Manifest, si *ShardInfo) (*RankImage, error) {
+	at := fmt.Sprintf("epoch %d rank %d", man.Epoch, si.Rank)
+	if si.RefEpoch != man.Epoch {
+		at = fmt.Sprintf("epoch %d rank %d (shard stored in epoch %d)", man.Epoch, si.Rank, si.RefEpoch)
+	}
+	blob, err := store.GetShard(si.RefEpoch, si.Rank)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %s: %w", at, err)
+	}
+	if got := checksumOf(blob); got != si.Checksum {
+		return nil, fmt.Errorf("ckpt: %s: shard corrupted (checksum %x, want %x)", at, got, si.Checksum)
+	}
+	ri, err := decodeShard(blob, si.RawSize)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %s: %w", at, err)
+	}
+	if ri.Rank != si.Rank {
+		return nil, fmt.Errorf("ckpt: %s: shard content is for rank %d", at, ri.Rank)
+	}
+	if man.Version >= ManifestV3 {
+		// v3 shards are encoded clockless; the capture-time clock rides in
+		// the manifest.
+		ri.ClockVT = si.ClockVT
+	}
+	return ri, nil
+}
+
+// ExtractRankFromStore decodes a single rank's image from one store epoch:
+// only that rank's manifest entry is resolved (through the reference chain)
+// and only its shard is fetched and decompressed — the cheap single-rank
+// fetch the per-rank store layout exists for.
+func ExtractRankFromStore(store Store, epoch, rank int) (*RankImage, error) {
+	man, err := store.GetManifest(epoch)
+	if err != nil {
+		return nil, err
+	}
+	for i := range man.Shards {
+		if man.Shards[i].Rank == rank {
+			return loadShard(store, man, &man.Shards[i])
+		}
+	}
+	return nil, fmt.Errorf("ckpt: epoch %d has no rank %d", epoch, rank)
+}
+
+// StoreFault names one damaged or unresolvable shard in a store chain.
+type StoreFault struct {
+	Epoch    int // epoch whose manifest references the shard
+	Rank     int
+	RefEpoch int // epoch that physically holds (or should hold) the bytes
+	Err      error
+}
+
+// VerifyStore walks every sealed epoch of a store, verifying that each
+// manifest decodes, every shard reference resolves, and every shard's
+// checksum and trial decode pass. Faults are attributed per (epoch, rank);
+// a structural failure (unreadable epoch list) is returned as err.
+//
+// A physical shard referenced by many epochs — the norm on the low-churn
+// chains incremental checkpointing targets — is fetched and decoded once:
+// later epochs whose manifest entry carries the identical (ref-epoch, rank,
+// checksum, raw size) tuple reuse the verdict instead of re-reading it.
+func VerifyStore(store Store) ([]StoreFault, error) {
+	epochs, err := store.Epochs()
+	if err != nil {
+		return nil, err
+	}
+	type shardID struct {
+		epoch, rank int
+		sum         uint64
+		rawSize     int64
+	}
+	verified := make(map[shardID]bool)
+	var faults []StoreFault
+	for _, e := range epochs {
+		man, err := store.GetManifest(e)
+		if err != nil {
+			faults = append(faults, StoreFault{Epoch: e, Rank: -1, RefEpoch: e, Err: err})
+			continue
+		}
+		todo := make([]int, 0, len(man.Shards))
+		for i := range man.Shards {
+			si := &man.Shards[i]
+			if !verified[shardID{si.RefEpoch, si.Rank, si.Checksum, si.RawSize}] {
+				todo = append(todo, i)
+			}
+		}
+		errs := make([]error, len(todo))
+		fanOut(len(todo), encodeWorkers(len(todo)), func(j int) {
+			_, errs[j] = loadShard(store, man, &man.Shards[todo[j]])
+		})
+		for j, err := range errs {
+			si := &man.Shards[todo[j]]
+			if err != nil {
+				faults = append(faults, StoreFault{
+					Epoch: e, Rank: si.Rank, RefEpoch: si.RefEpoch, Err: err,
+				})
+				continue
+			}
+			verified[shardID{si.RefEpoch, si.Rank, si.Checksum, si.RawSize}] = true
+		}
+	}
+	return faults, nil
+}

@@ -1,0 +1,292 @@
+package ckpt
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"mana/internal/netmodel"
+)
+
+// testImage builds a synthetic n-rank job image whose per-rank state is
+// derived from seed; epoch-over-epoch tests mutate individual ranks.
+func testImage(n int, seed byte) *JobImage {
+	ji := &JobImage{Algorithm: "cc", Ranks: n, PPN: 2, CaptureVT: 1.5, Images: make([]RankImage, n)}
+	for r := 0; r < n; r++ {
+		app := make([]byte, 64+r)
+		for i := range app {
+			app[i] = seed + byte(r) + byte(i)
+		}
+		ji.Images[r] = RankImage{
+			Rank:    r,
+			Desc:    Descriptor{Kind: ParkPreCollective, Coll: &CollDesc{Kind: 1, Bench: true, VirtSize: 8}},
+			App:     app,
+			Proto:   []byte{seed, byte(r)},
+			ClockVT: 1.0 + float64(r)/10,
+		}
+	}
+	return ji
+}
+
+func sameImages(t *testing.T, a, b *JobImage) {
+	t.Helper()
+	if len(a.Images) != len(b.Images) {
+		t.Fatalf("rank counts differ: %d vs %d", len(a.Images), len(b.Images))
+	}
+	for r := range a.Images {
+		x, y := &a.Images[r], &b.Images[r]
+		if x.Rank != y.Rank || x.ClockVT != y.ClockVT ||
+			string(x.App) != string(y.App) || string(x.Proto) != string(y.Proto) ||
+			x.Desc.Kind != y.Desc.Kind {
+			t.Fatalf("rank %d images differ:\n%+v\n%+v", r, x, y)
+		}
+	}
+}
+
+func TestStoreCommitRoundTrip(t *testing.T) {
+	for name, store := range map[string]Store{"mem": NewMemStore(), "file": mustFileStore(t)} {
+		t.Run(name, func(t *testing.T) {
+			img := testImage(4, 1)
+			man, st, err := CommitCapture(store, 0, nil, img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if man.Version != ManifestV3 || man.Epoch != 0 || man.Parent != -1 {
+				t.Fatalf("bad manifest header: %+v", man)
+			}
+			if st.FreshShards != 4 || st.ReusedShards != 0 {
+				t.Fatalf("bad commit stats: %+v", st)
+			}
+			got, err := LoadJobImage(store, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameImages(t, img, got)
+			if got.CaptureVT != img.CaptureVT || got.Algorithm != img.Algorithm {
+				t.Fatalf("job header lost: %+v", got)
+			}
+		})
+	}
+}
+
+func mustFileStore(t *testing.T) *FileStore {
+	t.Helper()
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// TestIncrementalReuseAndChainCollapse: unchanged ranks are recorded as
+// references (collapsed to the epoch that physically wrote the bytes), and
+// load resolves them — including the per-epoch clock override.
+func TestIncrementalReuseAndChainCollapse(t *testing.T) {
+	fs := mustFileStore(t)
+	img0 := testImage(4, 1)
+	man0, _, err := CommitCapture(fs, 0, nil, img0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 1: only rank 2's state changes; every clock advances.
+	img1 := testImage(4, 1)
+	img1.CaptureVT = 2.5
+	for r := range img1.Images {
+		img1.Images[r].ClockVT += 1.0
+	}
+	img1.Images[2].App[0] ^= 0xFF
+	man1, st1, err := CommitCapture(fs, 1, man0, img1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.FreshShards != 1 || st1.ReusedShards != 3 {
+		t.Fatalf("epoch 1 stats: %+v", st1)
+	}
+	for _, si := range man1.Shards {
+		want := 0
+		if si.Rank == 2 {
+			want = 1
+		}
+		if si.RefEpoch != want {
+			t.Fatalf("rank %d references epoch %d, want %d", si.Rank, si.RefEpoch, want)
+		}
+	}
+	got1, err := LoadJobImage(fs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameImages(t, img1, got1) // clocks must come from epoch 1's manifest
+
+	// Epoch 2: nothing changes; references must collapse to epoch 0/1, not
+	// point at epoch 1's references.
+	img2 := testImage(4, 1)
+	img2.Images[2].App[0] ^= 0xFF
+	img2.CaptureVT = 3.5
+	for r := range img2.Images {
+		img2.Images[r].ClockVT += 2.0
+	}
+	man2, st2, err := CommitCapture(fs, 2, man1, img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.FreshShards != 0 || st2.ReusedShards != 4 {
+		t.Fatalf("epoch 2 stats: %+v", st2)
+	}
+	for _, si := range man2.Shards {
+		want := 0
+		if si.Rank == 2 {
+			want = 1
+		}
+		if si.RefEpoch != want {
+			t.Fatalf("rank %d chain not collapsed: references epoch %d, want %d", si.Rank, si.RefEpoch, want)
+		}
+	}
+	got2, err := LoadJobImage(fs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameImages(t, img2, got2)
+
+	if faults, err := VerifyStore(fs); err != nil || len(faults) != 0 {
+		t.Fatalf("chain did not verify: faults=%v err=%v", faults, err)
+	}
+
+	// Corrupt the referenced parent shard (rank 1's bytes live in epoch 0):
+	// loading epoch 2 must fail naming both the manifest epoch and the
+	// referenced epoch, and VerifyStore must attribute the fault to every
+	// epoch whose chain crosses it.
+	path := fs.ShardPath(0, 1)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0xFF
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadJobImage(fs, 2)
+	if err == nil {
+		t.Fatal("load of a chain with a corrupted parent shard succeeded")
+	}
+	for _, want := range []string{"epoch 2", "rank 1", "stored in epoch 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	faults, err := VerifyStore(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 3 { // epochs 0, 1, 2 all resolve rank 1 to the damaged blob
+		t.Fatalf("expected 3 attributed faults, got %v", faults)
+	}
+	for _, f := range faults {
+		if f.Rank != 1 || f.RefEpoch != 0 {
+			t.Fatalf("fault not attributed to rank 1 / epoch 0: %+v", f)
+		}
+	}
+}
+
+// TestExtractRankFromStore: single-rank extraction resolves only that
+// rank's shard (through the reference chain) and applies the epoch's clock.
+func TestExtractRankFromStore(t *testing.T) {
+	fs := mustFileStore(t)
+	img0 := testImage(4, 5)
+	man0, _, err := CommitCapture(fs, 0, nil, img0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img1 := testImage(4, 5)
+	for r := range img1.Images {
+		img1.Images[r].ClockVT += 7
+	}
+	img1.Images[0].App[0] ^= 0xFF
+	if _, _, err := CommitCapture(fs, 1, man0, img1); err != nil {
+		t.Fatal(err)
+	}
+	// Rank 3's bytes live in epoch 0, but the extraction from epoch 1 must
+	// report epoch 1's clock.
+	ri, err := ExtractRankFromStore(fs, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Rank != 3 || ri.ClockVT != img1.Images[3].ClockVT {
+		t.Fatalf("extracted rank %d clock %g, want rank 3 clock %g", ri.Rank, ri.ClockVT, img1.Images[3].ClockVT)
+	}
+	if _, err := ExtractRankFromStore(fs, 1, 9); err == nil {
+		t.Fatal("extraction of a missing rank succeeded")
+	}
+}
+
+// TestUnsealedEpochIgnored: a crash between shard writes and the manifest
+// seal must leave an epoch invisible.
+func TestUnsealedEpochIgnored(t *testing.T) {
+	fs := mustFileStore(t)
+	img := testImage(2, 9)
+	if _, _, err := CommitCapture(fs, 0, nil, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.PutShard(1, 0, []byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	epochs, err := fs.Epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 1 || epochs[0] != 0 {
+		t.Fatalf("unsealed epoch surfaced: %v", epochs)
+	}
+	if e, err := LatestEpoch(fs); err != nil || e != 0 {
+		t.Fatalf("latest epoch %d err %v", e, err)
+	}
+}
+
+// TestModelStoreMetering: commit traffic is converted to modeled write
+// time; incremental epochs charge only fresh bytes, and the overlapped
+// split stalls only the open latency.
+func TestModelStoreMetering(t *testing.T) {
+	params := netmodel.EthernetLike()
+	model := netmodel.New(params, 2)
+	ms := NewModelStore(NewMemStore(), model, 2)
+
+	img0 := testImage(4, 3)
+	man0, _, err := CommitCapture(ms, 0, nil, img0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := ms.EpochCost(0)
+	if full.Total <= params.StorageLatency {
+		t.Fatalf("full epoch cost %+v not above latency", full)
+	}
+	if full.Stall != full.Total || full.Overlap != 0 {
+		t.Fatalf("default split must stall everything: %+v", full)
+	}
+
+	// Incremental + overlapped epoch: nothing fresh, so the transfer charge
+	// collapses to the latency floor; the stall is just the latency.
+	ms.Overlapped = true
+	if _, _, err := CommitCapture(ms, 1, man0, testImage(4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	incr := ms.EpochCost(1)
+	if incr.Total >= full.Total {
+		t.Fatalf("incremental epoch %+v not cheaper than full %+v", incr, full)
+	}
+	if incr.Stall != params.StorageLatency {
+		t.Fatalf("overlapped stall %g, want latency %g", incr.Stall, params.StorageLatency)
+	}
+
+	// Padded charging: every fresh shard bills PadShardBytes.
+	ms.Overlapped = false
+	ms.PadShardBytes = 1 << 20
+	img2 := testImage(4, 4)
+	if _, _, err := CommitCapture(ms, 2, nil, img2); err != nil {
+		t.Fatal(err)
+	}
+	padded := ms.EpochCost(2)
+	want := model.CheckpointWriteCost(4<<20, 2, false)
+	if padded != want {
+		t.Fatalf("padded cost %+v, want %+v", padded, want)
+	}
+}

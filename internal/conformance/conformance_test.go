@@ -174,6 +174,74 @@ func TestSweepPoints(t *testing.T) {
 	}
 }
 
+// TestIncrementalChain: the staged async pipeline's conformance sweep — a
+// FileStore chain of >= 3 captures on the low-churn straggler workload must
+// restart into the golden digest from every epoch, reuse the frozen cold
+// ranks' shards, stall less than the synchronous full path, and attribute
+// corruption of a referenced parent epoch.
+func TestIncrementalChain(t *testing.T) {
+	rpt, err := VerifyIncrementalChain(DefaultChainWorkload, rt.AlgoCC, Options{Logf: t.Logf}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("incremental chain: %s", rpt)
+	if rpt.Epochs < 3 {
+		t.Fatalf("only %d epochs in the chain", rpt.Epochs)
+	}
+	if rpt.ReusedShards == 0 {
+		t.Fatal("low-churn chain reused no shards")
+	}
+	if !testing.Short() {
+		// The chain must also hold on a churny Table-1 workload (no reuse
+		// expected — every shard rewrites — but digests and accounting must
+		// still line up) and under the 2PC baseline.
+		if _, err := VerifyIncrementalChain("comd", rt.AlgoCC, Options{Logf: t.Logf}, false); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := VerifyIncrementalChain(DefaultChainWorkload, rt.Algo2PC, Options{Logf: t.Logf}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFaultInjection: killing a rank mid-drain (crash and silent hang) and
+// mid-capture (snapshot failure) must abort the run with attributable
+// diagnostics — the coordinator's failure paths, not a wedge.
+func TestFaultInjection(t *testing.T) {
+	verdicts, err := VerifyFaultInjection("comd", rt.AlgoCC, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 3 {
+		t.Fatalf("expected 3 probes, got %d", len(verdicts))
+	}
+	for _, v := range verdicts {
+		if v.Err != nil {
+			t.Errorf("%s: %v", v.Name, v.Err)
+		} else {
+			t.Logf("%s: %s", v.Name, v.OK)
+		}
+	}
+}
+
+// TestStragglerConformance: the straggler workload (registered outside the
+// Table-1 names) must itself pass the checkpoint-anywhere sweep — its done
+// ranks make it the one workload whose captures routinely carry ParkDone
+// shards.
+func TestStragglerConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trigger sweep; run without -short")
+	}
+	cr, err := RunCase(DefaultChainWorkload, rt.AlgoCC, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Failed() {
+		m := MatrixResult{Cases: []CaseResult{*cr}}
+		t.Fatalf("straggler conformance failures:\n%s", m.String())
+	}
+}
+
 // TestSkipsNA: the 2PC x non-blocking-collectives cell must be skipped, not
 // failed (the paper's Table 1 "NA").
 func TestSkipsNA(t *testing.T) {

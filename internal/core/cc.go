@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -466,19 +467,38 @@ func (r *Rank) AtBoundary(desc *ckpt.Descriptor) ckpt.Outcome {
 	})
 }
 
-// ccState is the serialized per-rank protocol state.
+// ccState is the serialized per-rank protocol state. The sequence table is
+// stored as parallel slices sorted by group id — not as the map it lives in —
+// so that identical logical state always serializes to identical bytes (gob
+// maps have randomized iteration order). Byte-stable snapshots are what the
+// incremental checkpoint pipeline diffs against: a quiescent rank's shard
+// must hash equal across epochs or it can never be reused. The legacy Seq
+// map field is kept for decoding images captured before canonicalization.
 type ccState struct {
-	Seq map[uint64]uint64
+	Groups []uint64 // sorted group ids
+	Seqs   []uint64 // Seqs[i] is the sequence number of Groups[i]
+	Seq    map[uint64]uint64
 }
 
 // Snapshot implements ckpt.Protocol.
 func (r *Rank) Snapshot() ([]byte, error) {
 	r.mu.Lock()
-	st := ccState{Seq: make(map[uint64]uint64, len(r.seq))}
+	seq := make(map[uint64]uint64, len(r.seq))
 	for g, s := range r.seq {
-		st.Seq[g] = s
+		seq[g] = s
 	}
 	r.mu.Unlock()
+	st := ccState{
+		Groups: make([]uint64, 0, len(seq)),
+		Seqs:   make([]uint64, 0, len(seq)),
+	}
+	for g := range seq {
+		st.Groups = append(st.Groups, g)
+	}
+	sort.Slice(st.Groups, func(i, j int) bool { return st.Groups[i] < st.Groups[j] })
+	for _, g := range st.Groups {
+		st.Seqs = append(st.Seqs, seq[g])
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
 		return nil, fmt.Errorf("cc: snapshot rank %d: %w", r.p.Rank(), err)
@@ -495,8 +515,19 @@ func (r *Rank) Restore(data []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
 		return fmt.Errorf("cc: restore rank %d: %w", r.p.Rank(), err)
 	}
+	if len(st.Groups) != len(st.Seqs) {
+		return fmt.Errorf("cc: restore rank %d: %d groups but %d sequence numbers",
+			r.p.Rank(), len(st.Groups), len(st.Seqs))
+	}
+	seq := make(map[uint64]uint64, len(st.Groups))
+	for i, g := range st.Groups {
+		seq[g] = st.Seqs[i]
+	}
+	for g, s := range st.Seq { // legacy pre-canonicalization images
+		seq[g] = s
+	}
 	r.mu.Lock()
-	r.seq = st.Seq
+	r.seq = seq
 	r.target = make(map[uint64]uint64)
 	r.hasTargets = false
 	r.mu.Unlock()

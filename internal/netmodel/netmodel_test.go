@@ -258,6 +258,36 @@ func TestStorageModel(t *testing.T) {
 	}
 }
 
+func TestCheckpointWriteCost(t *testing.T) {
+	m := testModel(128)
+	const bytes = 10 << 30
+
+	stalled := m.CheckpointWriteCost(bytes, 4, false)
+	if stalled.Total != m.CheckpointWriteTime(bytes, 4) {
+		t.Fatalf("stalled total %g != write time %g", stalled.Total, m.CheckpointWriteTime(bytes, 4))
+	}
+	if stalled.Stall != stalled.Total || stalled.Overlap != 0 {
+		t.Fatalf("stalled write must charge everything as stall: %+v", stalled)
+	}
+
+	overlapped := m.CheckpointWriteCost(bytes, 4, true)
+	if overlapped.Total != stalled.Total {
+		t.Fatalf("overlap must not change the total cost: %+v vs %+v", overlapped, stalled)
+	}
+	if overlapped.Stall != m.P.StorageLatency {
+		t.Fatalf("overlapped stall %g, want the open latency %g", overlapped.Stall, m.P.StorageLatency)
+	}
+	if math.Abs(overlapped.Stall+overlapped.Overlap-overlapped.Total) > 1e-9 {
+		t.Fatalf("stall+overlap != total: %+v", overlapped)
+	}
+
+	// Degenerate write: the stall can never exceed the total.
+	tiny := m.CheckpointWriteCost(0, 1, true)
+	if tiny.Stall > tiny.Total {
+		t.Fatalf("stall exceeds total on a zero-byte write: %+v", tiny)
+	}
+}
+
 func TestNonblockingCompletionMatchesBlockingShape(t *testing.T) {
 	m := testModel(128)
 	g, ranks := worldGeom(m, 64)

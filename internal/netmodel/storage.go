@@ -16,6 +16,38 @@ func (m *Model) CheckpointWriteTime(totalBytes int64, nodes int) float64 {
 	return m.P.StorageLatency + float64(totalBytes)/bw
 }
 
+// WriteCost splits one checkpoint write into the virtual time the job stalls
+// for and the virtual time hidden behind resumed execution. The two always
+// sum to the full modeled write time (Total).
+type WriteCost struct {
+	Total   float64 // full modeled write time (latency + transfer)
+	Stall   float64 // charged to every rank's clock before release
+	Overlap float64 // streamed concurrently with the resumed job
+}
+
+// CheckpointWriteCost models a checkpoint write in one of two regimes:
+//
+//   - stalled (overlapped=false): the classic stop-and-write — the job waits
+//     for the entire write, so Stall is the full CheckpointWriteTime.
+//   - overlapped (overlapped=true): forked checkpointing — the job resumes as
+//     soon as the snapshot is taken and only the synchronous open/metadata
+//     latency stalls it; the data transfer streams behind execution (MANA and
+//     DMTCP's forked checkpoint, where a child process writes the image).
+//
+// totalBytes is the aggregate image size and nodes the number of writer
+// nodes, exactly as for CheckpointWriteTime.
+func (m *Model) CheckpointWriteCost(totalBytes int64, nodes int, overlapped bool) WriteCost {
+	total := m.CheckpointWriteTime(totalBytes, nodes)
+	if !overlapped {
+		return WriteCost{Total: total, Stall: total}
+	}
+	stall := m.P.StorageLatency
+	if stall > total {
+		stall = total
+	}
+	return WriteCost{Total: total, Stall: stall, Overlap: total - stall}
+}
+
 // RestartReadTime models restart: reading all images back plus the fixed
 // cost of launching a fresh lower half (MPI re-initialization).
 func (m *Model) RestartReadTime(totalBytes int64, nodes int) float64 {

@@ -81,6 +81,23 @@ func (e *Env) Now() float64 { return e.p.Clk.Now() }
 // Compute models d seconds of application computation.
 func (e *Env) Compute(d float64) { e.p.Compute(d) }
 
+// CheckpointPending reports whether a checkpoint request is outstanding
+// (the drain protocol is running but this rank has not parked yet). The
+// fault-injection conformance probes use it to time a simulated rank death
+// against the drain window; applications may use it to schedule
+// checkpoint-friendly work.
+func (e *Env) CheckpointPending() bool { return e.coord.Pending() }
+
+// BlockUntilAbort simulates a dead rank: the caller blocks, producing no
+// further activity, until the world is torn down — by the deadlock watchdog
+// or a failed peer — and then unwinds via the usual abort panic (recovered
+// by the runner). It never returns normally. Only fault-injection tests
+// should call this.
+func (e *Env) BlockUntilAbort() {
+	e.p.SetWaitSite("fault-injected dead rank")
+	e.p.WaitUntil(func() bool { return false })
+}
+
 // comm resolves a virtual communicator id.
 func (e *Env) comm(vid int) *ckpt.CommInfo {
 	if vid < 0 || vid >= len(e.comms) || e.comms[vid] == nil {

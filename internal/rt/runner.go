@@ -53,6 +53,20 @@ type CkptPlan struct {
 	// CaptureWorkers bounds the coordinator's per-rank snapshot fan-out at
 	// capture time. Zero selects GOMAXPROCS; one forces the serial baseline.
 	CaptureWorkers int
+
+	// Async enables the staged pipeline's overlapped mode: the job resumes
+	// as soon as all ranks are snapshotted, paying only the storage open
+	// latency, while shard encode and store commit run behind execution
+	// (CheckpointStats.OverlapVT instead of StallVT).
+	Async bool
+	// Incremental enables shard reuse across the Store's epochs: ranks
+	// whose state did not change since the previous committed capture are
+	// recorded as references instead of re-written. Requires Store.
+	Incremental bool
+	// Store, when non-nil, receives every capture as a sealed epoch (shards
+	// plus manifest) in addition to the in-memory image. Restart can load
+	// any sealed epoch back via RestartFromStore.
+	Store ckpt.Store
 }
 
 // Config describes one job.
@@ -139,7 +153,10 @@ func Run(cfg Config, factory func(rank int) App) (*Report, error) {
 		return nil, err
 	}
 	w := mpi.NewWorld(cfg.Ranks, netmodel.New(cfg.Params, cfg.PPN))
-	coord := newCoordinator(w, cfg.Checkpoint)
+	coord, err := newCoordinator(w, cfg.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
 	if _, err := newAlgorithm(cfg.Algorithm, coord); err != nil {
 		return nil, err
 	}
@@ -147,8 +164,9 @@ func Run(cfg Config, factory func(rank int) App) (*Report, error) {
 }
 
 // newCoordinator builds the checkpoint coordinator for a job, applying the
-// plan's capture tuning (padded image sizes, capture fan-out).
-func newCoordinator(w *mpi.World, plan *CkptPlan) *ckpt.Coordinator {
+// plan's capture tuning (padded image sizes, capture fan-out) and attaching
+// the commit store (resuming its chain if it already holds epochs).
+func newCoordinator(w *mpi.World, plan *CkptPlan) (*ckpt.Coordinator, error) {
 	mode := ckpt.ContinueAfterCapture
 	if plan != nil {
 		mode = plan.Mode
@@ -157,8 +175,19 @@ func newCoordinator(w *mpi.World, plan *CkptPlan) *ckpt.Coordinator {
 	if plan != nil {
 		coord.PaddedBytesPerRank = plan.PaddedBytesPerRank
 		coord.CaptureWorkers = plan.CaptureWorkers
+		coord.Async = plan.Async
+		coord.Incremental = plan.Incremental
+		store := plan.Store
+		if store == nil && plan.Incremental {
+			// Incremental reuse needs epochs to diff against; default to an
+			// in-memory store when the plan names none.
+			store = ckpt.NewMemStore()
+		}
+		if err := coord.SetStore(store); err != nil {
+			return nil, err
+		}
 	}
-	return coord
+	return coord, nil
 }
 
 // runJob drives the rank goroutines over a prepared world. images, when
@@ -475,11 +504,34 @@ func Restart(cfg Config, img *ckpt.JobImage, factory func(rank int) App) (*Repor
 			img.Algorithm, cfg.Algorithm)
 	}
 	w := mpi.NewWorld(cfg.Ranks, netmodel.New(cfg.Params, cfg.PPN))
-	coord := newCoordinator(w, cfg.Checkpoint)
+	coord, err := newCoordinator(w, cfg.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
 	if _, err := newAlgorithm(cfg.Algorithm, coord); err != nil {
 		return nil, err
 	}
 	return runJob(cfg, w, coord, factory, img)
+}
+
+// RestartFromStore rebuilds a job from a checkpoint store epoch: the epoch's
+// manifest is read, every shard resolved through the reference chain
+// (incremental captures record unchanged shards as references into earlier
+// epochs), verified, and decoded, and the job restarts exactly as from an
+// in-memory image. epoch < 0 selects the store's newest sealed epoch.
+func RestartFromStore(cfg Config, store ckpt.Store, epoch int, factory func(rank int) App) (*Report, error) {
+	if epoch < 0 {
+		latest, err := ckpt.LatestEpoch(store)
+		if err != nil {
+			return nil, err
+		}
+		epoch = latest
+	}
+	img, err := ckpt.LoadJobImage(store, epoch)
+	if err != nil {
+		return nil, err
+	}
+	return Restart(cfg, img, factory)
 }
 
 // restoreFromImage restores one rank's upper half: application state,

@@ -79,6 +79,24 @@
 // taken on. Only the rebuilt lower half changes; the conformance engine's
 // cross-geometry sweep (ccverify -crossgeo) asserts digest equality across
 // placements.
+//
+// # Asynchronous and incremental checkpointing
+//
+// The checkpoint path is a staged pipeline committed to a pluggable Store
+// (internal/ckpt/FORMAT.md): with CkptPlan.Async the job resumes as soon as
+// the all-ranks snapshot completes, paying only the storage open latency
+// while shard encoding and the store commit stream behind execution
+// (CheckpointStats.OverlapVT instead of StallVT — the forked-checkpoint
+// analog of MANA/DMTCP); with CkptPlan.Incremental, ranks whose state did
+// not change since the previous committed epoch are recorded as references
+// instead of re-written (the low-churn pattern: stragglers keep running
+// after most ranks finish). Each capture seals one store epoch; restart
+// loads any sealed epoch (RestartFromStore), resolving reference chains and
+// attributing corruption to the exact epoch and rank. The conformance
+// engine's incremental sweep (ccverify -incremental) asserts digest
+// equality from every epoch of a FileStore chain, and its fault-injection
+// suite (ccverify -faults) kills ranks mid-drain and mid-capture and
+// asserts the coordinator aborts with diagnostics instead of wedging.
 package mana
 
 import (
@@ -106,11 +124,22 @@ type (
 	JobImage = ckpt.JobImage
 	// RankImage is one rank's shard of a job checkpoint.
 	RankImage = ckpt.RankImage
-	// Manifest is the v2 sharded image's job-level header: geometry plus the
-	// per-rank shard table.
+	// Manifest is the sharded image's job-level header: geometry plus the
+	// per-rank shard table (v3 manifests add store epochs and parent refs).
 	Manifest = ckpt.Manifest
 	// ShardFault names one corrupted shard found by VerifyImage.
 	ShardFault = ckpt.ShardFault
+	// Store is a checkpoint store: the staged pipeline's commit target,
+	// holding a chain of capture epochs with incremental shard reuse.
+	Store = ckpt.Store
+	// FileStore is the on-disk Store (one directory per epoch).
+	FileStore = ckpt.FileStore
+	// MemStore is the in-memory Store.
+	MemStore = ckpt.MemStore
+	// ModelStore decorates a Store with the netmodel storage cost model.
+	ModelStore = ckpt.ModelStore
+	// StoreFault names one damaged shard found by VerifyStore.
+	StoreFault = ckpt.StoreFault
 	// CheckpointStats records one checkpoint's drain and I/O costs.
 	CheckpointStats = ckpt.CheckpointStats
 	// Params holds the network/storage model constants.
@@ -187,6 +216,31 @@ func Run(cfg Config, factory func(rank int) App) (*Report, error) {
 func Restart(cfg Config, img *JobImage, factory func(rank int) App) (*Report, error) {
 	return rt.Restart(cfg, img, factory)
 }
+
+// RestartFromStore rebuilds a job from a checkpoint store epoch, resolving
+// incremental shard references through the chain. epoch < 0 selects the
+// newest sealed epoch.
+func RestartFromStore(cfg Config, store Store, epoch int, factory func(rank int) App) (*Report, error) {
+	return rt.RestartFromStore(cfg, store, epoch, factory)
+}
+
+// NewFileStore opens (creating if needed) an on-disk checkpoint store.
+func NewFileStore(dir string) (*FileStore, error) { return ckpt.NewFileStore(dir) }
+
+// NewMemStore creates an in-memory checkpoint store.
+func NewMemStore() *MemStore { return ckpt.NewMemStore() }
+
+// LatestEpoch returns a store's newest sealed epoch.
+func LatestEpoch(store Store) (int, error) { return ckpt.LatestEpoch(store) }
+
+// LoadJobImage materializes one store epoch as a job image, resolving and
+// verifying every shard through the reference chain.
+func LoadJobImage(store Store, epoch int) (*JobImage, error) { return ckpt.LoadJobImage(store, epoch) }
+
+// VerifyStore walks every sealed epoch of a store, verifying manifests,
+// reference resolution, and shard integrity, attributing faults per
+// (epoch, rank).
+func VerifyStore(store Store) ([]StoreFault, error) { return ckpt.VerifyStore(store) }
 
 // PerlmutterLike returns network parameters resembling a Slingshot-11
 // system with 128 ranks per node (the paper's testbed).
