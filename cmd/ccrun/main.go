@@ -6,15 +6,19 @@
 //	ccrun -app vasp -algo cc -ranks 512 -ckpt-at 0.5 -image /tmp/job.img
 //	ccrun -app vasp -algo cc -ranks 512 -restart /tmp/job.img
 //
-// and the staged asynchronous pipeline with incremental shard reuse:
+// and the staged asynchronous pipeline with incremental shard reuse, staged
+// on the burst-buffer storage tier:
 //
 //	ccrun -app straggler -algo cc -ckpt-at 0.2 -continue -every 0.2 \
-//	      -store /tmp/ckpts -async -incremental
+//	      -store /tmp/ckpts -async -incremental -tier burst
 //	ccrun -app straggler -algo cc -restart-store /tmp/ckpts [-epoch 3]
 //
 // The first periodic invocation seals one store epoch per capture (unchanged
-// shards recorded as references to earlier epochs); the second rebuilds the
-// job from any sealed epoch, resolving references through the chain.
+// shards recorded as references to earlier epochs; with -tier burst the job
+// stalls only for the burst open latency and each epoch accrues a background
+// drain to the parallel filesystem); the second rebuilds the job from any
+// sealed epoch, resolving references through the chain and reporting the
+// modeled chain-aware restart read time.
 package main
 
 import (
@@ -36,6 +40,7 @@ func main() {
 		every    = flag.Float64("every", 0, "periodic checkpoint interval after the first (0 = one checkpoint)")
 		cont     = flag.Bool("continue", false, "continue after the checkpoint instead of exiting")
 		async    = flag.Bool("async", false, "staged pipeline: resume the job while shards encode and commit")
+		tier     = flag.String("tier", "pfs", "storage tier checkpoints are charged to: pfs or burst")
 		incr     = flag.Bool("incremental", false, "reuse unchanged shards from the previous epoch (implies a store)")
 		storeDir = flag.String("store", "", "commit each capture as an epoch in this store directory")
 		image    = flag.String("image", "", "write the checkpoint image to this file")
@@ -55,18 +60,27 @@ func main() {
 		Params:    mana.PerlmutterLike(),
 		Algorithm: *algo,
 	}
-	if *ckptAt <= 0 && (*storeDir != "" || *async || *incr || *every > 0) {
+	if *ckptAt <= 0 && (*storeDir != "" || *async || *incr || *every > 0 || *tier != "pfs") {
 		// These flags only shape a checkpoint plan; without a first trigger
 		// they would be silently discarded and the run would complete with
 		// zero captures — surfaced only when a later restart finds an empty
 		// store.
-		fail(fmt.Errorf("-store/-async/-incremental/-every require -ckpt-at to schedule the first checkpoint"))
+		fail(fmt.Errorf("-store/-async/-incremental/-every/-tier require -ckpt-at to schedule the first checkpoint"))
 	}
 	if *every > 0 && !*cont {
 		// Periodic chaining only happens when the job continues after each
 		// capture; with the default exit-after-capture mode -every would be
 		// silently ignored after the first checkpoint.
 		fail(fmt.Errorf("-every requires -continue (a checkpoint-exit run captures once)"))
+	}
+	var storageTier mana.StorageTier
+	switch *tier {
+	case "pfs":
+		storageTier = mana.TierPFS
+	case "burst":
+		storageTier = mana.TierBurstBuffer
+	default:
+		fail(fmt.Errorf("unknown storage tier %q (want pfs or burst)", *tier))
 	}
 	if *ckptAt > 0 {
 		mode := mana.ExitAfterCapture
@@ -75,7 +89,7 @@ func main() {
 		}
 		cfg.Checkpoint = &mana.CkptPlan{
 			AtVT: *ckptAt, Every: *every, Mode: mode,
-			Async: *async, Incremental: *incr,
+			Async: *async, Incremental: *incr, Tier: storageTier,
 		}
 		if *storeDir != "" {
 			fs, err := mana.NewFileStore(*storeDir)
@@ -135,11 +149,17 @@ func main() {
 	fmt.Printf("collective calls: %d (%.1f/s per rank)   p2p calls: %d (%.1f/s per rank)\n",
 		rep.Counters.CollCalls(), rep.Rates.CollPerSec,
 		rep.Counters.P2PCalls(), rep.Rates.P2PPerSec)
+	if rep.RestartReadVT > 0 {
+		fmt.Printf("modeled restart read: %.3fs (chain fan-in over the resolved shard set)\n", rep.RestartReadVT)
+	}
 	for _, st := range rep.CheckpointHistory {
 		fmt.Printf("checkpoint: requested at %.4fs, safe state at %.4fs (drain %.2fms), "+
-			"%d bytes, write %.3fs (stall %.3fs, overlap %.3fs)",
+			"%d bytes, tier %v, write %.3fs (stall %.3fs, overlap %.3fs)",
 			st.RequestVT, st.CaptureVT, st.DrainVT*1e3, st.ImageBytes,
-			st.WriteVT, st.StallVT, st.OverlapVT)
+			st.Tier, st.WriteVT, st.StallVT, st.OverlapVT)
+		if st.TierDrainVT > 0 {
+			fmt.Printf(", background drain to pfs %.3fs", st.TierDrainVT)
+		}
 		if st.Epoch >= 0 {
 			fmt.Printf(", epoch %d: %d fresh / %d reused shards", st.Epoch, st.FreshShards, st.ReusedShards)
 		}

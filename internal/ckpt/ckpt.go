@@ -36,7 +36,10 @@
 // shard whose content hash matches the previous committed epoch is recorded
 // as a reference to the epoch that already holds its bytes; restart
 // resolves the reference chain through the Store and attributes any
-// corruption to the (epoch, rank) that failed.
+// corruption to the (epoch, rank) that failed. Commits are charged to a
+// storage tier (Coordinator.Tier): direct to the parallel filesystem, or
+// staged on the burst buffer with a background drain to durable storage
+// (CheckpointStats.TierDrainVT).
 package ckpt
 
 import (

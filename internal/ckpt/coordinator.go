@@ -63,6 +63,13 @@ type CheckpointStats struct {
 	StallVT   float64
 	OverlapVT float64
 
+	// Tier is the storage tier this capture was charged against
+	// (netmodel.StorageTier). TierDrainVT is the modeled background
+	// parallel-FS write that migrates a burst-tier epoch to durable storage;
+	// it never stalls the job and is zero for direct-to-PFS captures.
+	Tier        netmodel.StorageTier
+	TierDrainVT float64
+
 	// Epoch is the store epoch this capture committed as, or -1 when the
 	// plan has no store (the image stays an in-memory blob).
 	Epoch int
@@ -142,6 +149,14 @@ type Coordinator struct {
 	// recorded as a reference instead of re-encoded and re-written.
 	// Requires a store (SetStore).
 	Incremental bool
+
+	// Tier selects the storage tier checkpoint writes are charged against
+	// (default: the parallel filesystem). With TierBurstBuffer, captures
+	// land on the fast tier — synchronous ones stall for the (cheaper)
+	// burst write, asynchronous ones for only its open latency — and each
+	// sealed epoch accrues a background PFS drain (CheckpointStats.
+	// TierDrainVT) migrating it to durable storage.
+	Tier netmodel.StorageTier
 
 	pending atomic.Bool // fast-path flag read in every wrapper
 
@@ -455,6 +470,7 @@ func (c *Coordinator) captureLocked() {
 		DrainVT:            maxVT - c.requestVT,
 		ImageBytes:         img.TotalBytes(),
 		Epoch:              -1,
+		Tier:               c.W.Model.EffectiveTier(c.Tier),
 		CaptureHostSeconds: time.Since(captureStart).Seconds(),
 	}
 	// Drain-progress census, as per-checkpoint deltas against the request-
@@ -487,12 +503,16 @@ func (c *Coordinator) captureLocked() {
 		// because a fresh process restarting from the store cannot see
 		// c.err and would restore the incomplete image as if it were
 		// healthy. The whole (possibly padded) image is charged against the
-		// storage model — fully stalled by default, or latency-stalled with
-		// the transfer overlapped when Async.
-		cost := c.W.Model.CheckpointWriteCost(img.TotalBytes(), nodes, c.Async)
+		// selected storage tier — fully stalled by default, or latency-
+		// stalled with the transfer overlapped when Async.
+		cost := c.W.Model.TierWriteCost(c.Tier, img.TotalBytes(), nodes, c.Async)
 		c.stats.WriteVT = cost.Total
 		c.stats.StallVT = cost.Stall
 		c.stats.OverlapVT = cost.Overlap
+		if c.stats.Tier != netmodel.TierPFS {
+			// A fast-tier image still has to reach durable storage.
+			c.stats.TierDrainVT = c.W.Model.TierWriteTime(netmodel.TierPFS, img.TotalBytes(), nodes)
+		}
 		c.history = append(c.history, c.stats)
 		c.releaseLocked(maxVT + cost.Stall)
 		return
@@ -508,10 +528,10 @@ func (c *Coordinator) captureLocked() {
 	c.history = append(c.history, c.stats)
 
 	if c.Async {
-		// Release the job against only the storage open latency; stages 2–3
-		// run behind the resumed execution on a private (double-buffered)
-		// image — the next capture allocates a fresh one.
-		stall := c.W.Model.CheckpointWriteCost(0, nodes, true).Stall
+		// Release the job against only the commit tier's open latency;
+		// stages 2–3 run behind the resumed execution on a private
+		// (double-buffered) image — the next capture allocates a fresh one.
+		stall := c.W.Model.TierWriteCost(c.Tier, 0, nodes, true).Stall
 		c.stats.StallVT = stall
 		c.history[histIdx].StallVT = stall
 		c.commitWG.Add(1)
@@ -561,6 +581,7 @@ type commitResult struct {
 	epoch       int
 	stats       *CommitStats
 	cost        netmodel.WriteCost
+	drain       float64 // background PFS drain of a burst-tier epoch
 	hostSeconds float64
 	err         error
 }
@@ -599,6 +620,7 @@ func (c *Coordinator) commitEpoch(epoch int, img *JobImage) commitResult {
 	// by the ordering ticket, so setting them here is race-free.
 	c.store.Nodes = c.nodes()
 	c.store.Overlapped = c.Async
+	c.store.Tier = c.Tier
 	c.store.PadShardBytes = c.PaddedBytesPerRank
 	man, st, err := CommitEncoded(c.store, epoch, parent, img, enc)
 	if err != nil {
@@ -610,6 +632,7 @@ func (c *Coordinator) commitEpoch(epoch int, img *JobImage) commitResult {
 	c.lastMan = man
 	return commitResult{
 		epoch: epoch, stats: st, cost: c.store.EpochCost(epoch),
+		drain:       c.store.EpochDrain(epoch),
 		hostSeconds: time.Since(t0).Seconds(),
 	}
 }
@@ -632,6 +655,7 @@ func (c *Coordinator) applyCommitLocked(histIdx int, res commitResult) {
 		e.WriteVT = res.cost.Total
 		e.StallVT = res.cost.Stall
 		e.OverlapVT = res.cost.Overlap
+		e.TierDrainVT = res.drain
 		e.FreshShards = res.stats.FreshShards
 		e.ReusedShards = res.stats.ReusedShards
 		e.FreshBytes = res.stats.FreshBytes

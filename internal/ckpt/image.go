@@ -116,6 +116,12 @@ type Manifest struct {
 	// full capture with no parent. Both are -1/0-valued in v2 blobs.
 	Epoch  int
 	Parent int
+	// Tier records which storage tier this epoch was committed to
+	// (netmodel.StorageTier: 0 = parallel FS, 1 = burst buffer). Stamped by
+	// the ModelStore at seal time; restart read modeling charges the chain
+	// against this tier. Zero in v2 blobs and on stores committed without a
+	// cost model.
+	Tier int
 }
 
 // encodeWorkers bounds a fan-out at GOMAXPROCS (and at the job size).

@@ -242,10 +242,17 @@ func (s *FileStore) Epochs() ([]int, error) {
 
 // ModelStore decorates a Store with the netmodel's storage cost model:
 // every shard and manifest written through it is metered, and each sealed
-// epoch's traffic is converted into a netmodel.WriteCost. The coordinator
-// commits through a ModelStore and charges the resulting Stall to the rank
-// clocks (the whole write for synchronous captures, only the open latency
-// for asynchronous ones, with the transfer accounted as Overlap).
+// epoch's traffic is converted into a netmodel.WriteCost against the
+// selected storage tier. The coordinator commits through a ModelStore and
+// charges the resulting Stall to the rank clocks (the whole write for
+// synchronous captures, only the tier's open latency for asynchronous ones,
+// with the transfer accounted as Overlap).
+//
+// An epoch committed to the burst-buffer tier additionally accrues a drain
+// cost: the background parallel-FS write that migrates the sealed epoch to
+// durable storage (burst buffers are staging space, not an archive). The
+// drain never stalls the job; EpochDrain exposes it and the coordinator
+// reports it as CheckpointStats.TierDrainVT.
 type ModelStore struct {
 	Inner Store
 	Model *netmodel.Model
@@ -253,8 +260,12 @@ type ModelStore struct {
 	// Nodes is the writer-node count the bandwidth model fans out over.
 	Nodes int
 	// Overlapped selects the forked-checkpoint cost split (see
-	// netmodel.CheckpointWriteCost).
+	// netmodel.TierWriteCost).
 	Overlapped bool
+	// Tier is the storage tier commits are charged against. Sealed
+	// manifests are stamped with it (Manifest.Tier) so restart read
+	// modeling knows where the chain's bytes live.
+	Tier netmodel.StorageTier
 	// PadShardBytes, when positive, charges every fresh shard at this size
 	// instead of its actual blob length (reproducing the paper's padded
 	// image sizes). Reused shards are never charged — that is the
@@ -264,11 +275,17 @@ type ModelStore struct {
 	mu      sync.Mutex
 	pending int64 // bytes accumulated toward the next sealed epoch
 	costs   map[int]netmodel.WriteCost
+	drains  map[int]float64 // burst-tier epochs: background PFS drain time
 }
 
-// NewModelStore wraps a store with the storage cost model.
+// NewModelStore wraps a store with the storage cost model (parallel-FS tier
+// by default; set Tier before the first commit to stage on the burst tier).
 func NewModelStore(inner Store, model *netmodel.Model, nodes int) *ModelStore {
-	return &ModelStore{Inner: inner, Model: model, Nodes: nodes, costs: make(map[int]netmodel.WriteCost)}
+	return &ModelStore{
+		Inner: inner, Model: model, Nodes: nodes,
+		costs:  make(map[int]netmodel.WriteCost),
+		drains: make(map[int]float64),
+	}
 }
 
 // PutShard implements Store, metering the write.
@@ -290,14 +307,25 @@ func (s *ModelStore) PutShard(epoch, rank int, blob []byte) error {
 func (s *ModelStore) GetShard(epoch, rank int) ([]byte, error) { return s.Inner.GetShard(epoch, rank) }
 
 // PutManifest implements Store. Sealing the epoch converts the bytes
-// accumulated since the previous seal into that epoch's write cost.
+// accumulated since the previous seal into that epoch's write cost on the
+// configured tier, stamping the manifest with the tier before it is encoded
+// so the chain records where its bytes landed. Burst-tier epochs also
+// accrue the background PFS drain cost for the same bytes.
 func (s *ModelStore) PutManifest(epoch int, man *Manifest) error {
+	// The EFFECTIVE tier is stamped and charged: requesting the burst tier
+	// on a one-tier system is a plain PFS write, and fabricating a drain
+	// for it would double-count the storage traffic.
+	tier := s.Model.EffectiveTier(s.Tier)
+	man.Tier = int(tier)
 	if err := s.Inner.PutManifest(epoch, man); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.costs[epoch] = s.Model.CheckpointWriteCost(s.pending, s.Nodes, s.Overlapped)
+	s.costs[epoch] = s.Model.TierWriteCost(tier, s.pending, s.Nodes, s.Overlapped)
+	if tier != netmodel.TierPFS {
+		s.drains[epoch] = s.Model.TierWriteTime(netmodel.TierPFS, s.pending, s.Nodes)
+	}
 	s.pending = 0
 	return nil
 }
@@ -314,6 +342,16 @@ func (s *ModelStore) EpochCost(epoch int) netmodel.WriteCost {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.costs[epoch]
+}
+
+// EpochDrain returns the modeled background drain time of a burst-tier
+// epoch — the parallel-FS write that migrates the sealed epoch to durable
+// storage. Zero for epochs committed directly to the PFS (nothing to
+// migrate) or not committed through this instance.
+func (s *ModelStore) EpochDrain(epoch int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drains[epoch]
 }
 
 // AbortEpoch discards bytes metered toward an epoch whose commit failed
@@ -558,6 +596,49 @@ func ExtractRankFromStore(store Store, epoch, rank int) (*RankImage, error) {
 		}
 	}
 	return nil, fmt.Errorf("ckpt: epoch %d has no rank %d", epoch, rank)
+}
+
+// ReadSetOf computes the restart read fan-in of one epoch: the manifest's
+// resolved shard set grouped by the epoch physically holding the bytes, in
+// the shape netmodel.RestartReadCost prices. The first entry is always the
+// restart epoch itself — one sequential scan, even when every shard is a
+// reference and it holds no bytes at all — and older referenced epochs
+// follow newest-first, each a random fan-in paying per-shard seeks.
+//
+// Bytes follow the same basis as the write side: with a padded image size
+// every shard charges PaddedBytesPerRank, otherwise its compressed size, so
+// a restart is priced against exactly what the chain was charged to write.
+func ReadSetOf(man *Manifest) []netmodel.EpochRead {
+	byEpoch := make(map[int]*netmodel.EpochRead)
+	for i := range man.Shards {
+		si := &man.Shards[i]
+		r := byEpoch[si.RefEpoch]
+		if r == nil {
+			r = &netmodel.EpochRead{Epoch: si.RefEpoch}
+			byEpoch[si.RefEpoch] = r
+		}
+		r.Shards++
+		if man.PaddedBytesPerRank > 0 {
+			r.Bytes += man.PaddedBytesPerRank
+		} else {
+			r.Bytes += si.Size
+		}
+	}
+	if byEpoch[man.Epoch] == nil {
+		byEpoch[man.Epoch] = &netmodel.EpochRead{Epoch: man.Epoch}
+	}
+	reads := make([]netmodel.EpochRead, 0, len(byEpoch))
+	reads = append(reads, *byEpoch[man.Epoch])
+	delete(byEpoch, man.Epoch)
+	rest := make([]int, 0, len(byEpoch))
+	for e := range byEpoch {
+		rest = append(rest, e)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(rest)))
+	for _, e := range rest {
+		reads = append(reads, *byEpoch[e])
+	}
+	return reads
 }
 
 // StoreFault names one damaged or unresolvable shard in a store chain.

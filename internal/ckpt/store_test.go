@@ -290,3 +290,103 @@ func TestModelStoreMetering(t *testing.T) {
 		t.Fatalf("padded cost %+v, want %+v", padded, want)
 	}
 }
+
+// TestModelStoreTiering: burst-tier commits are charged against the burst
+// constants, stamp the manifest with the tier, and accrue a background PFS
+// drain; direct-PFS commits drain nothing.
+func TestModelStoreTiering(t *testing.T) {
+	params := netmodel.PerlmutterLike()
+	model := netmodel.New(params, 2)
+	ms := NewModelStore(NewMemStore(), model, 2)
+	ms.PadShardBytes = 64 << 20
+
+	if _, _, err := CommitCapture(ms, 0, nil, testImage(4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	pfs := ms.EpochCost(0)
+	if ms.EpochDrain(0) != 0 {
+		t.Fatalf("direct-PFS epoch has a drain: %g", ms.EpochDrain(0))
+	}
+	if man, err := ms.GetManifest(0); err != nil || man.Tier != int(netmodel.TierPFS) {
+		t.Fatalf("PFS epoch mis-stamped: tier=%v err=%v", man.Tier, err)
+	}
+
+	ms.Tier = netmodel.TierBurstBuffer
+	if _, _, err := CommitCapture(ms, 1, nil, testImage(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	bb := ms.EpochCost(1)
+	if bb.Total >= pfs.Total {
+		t.Fatalf("burst write %+v not cheaper than PFS %+v", bb, pfs)
+	}
+	drain := ms.EpochDrain(1)
+	if want := model.TierWriteTime(netmodel.TierPFS, 4*(64<<20), 2); drain != want {
+		t.Fatalf("burst epoch drain %g, want the PFS write %g", drain, want)
+	}
+	man, err := ms.GetManifest(1)
+	if err != nil || man.Tier != int(netmodel.TierBurstBuffer) {
+		t.Fatalf("burst epoch mis-stamped: %+v err=%v", man, err)
+	}
+
+	// One-tier system: requesting the burst tier is a plain PFS write — no
+	// fabricated drain, manifest stamped with the effective tier.
+	flat := params
+	flat.BurstAggBW, flat.BurstNodeBW = 0, 0
+	fs := NewModelStore(NewMemStore(), netmodel.New(flat, 2), 2)
+	fs.Tier = netmodel.TierBurstBuffer
+	if _, _, err := CommitCapture(fs, 0, nil, testImage(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if d := fs.EpochDrain(0); d != 0 {
+		t.Fatalf("one-tier system fabricated a drain: %g", d)
+	}
+	if man, err := fs.GetManifest(0); err != nil || man.Tier != int(netmodel.TierPFS) {
+		t.Fatalf("one-tier epoch not normalized to PFS: tier=%v err=%v", man.Tier, err)
+	}
+}
+
+// TestReadSetOf: the restart read set groups resolved shards by the epoch
+// holding the bytes — restart epoch first, older epochs newest-first — and
+// prices padded manifests on the padded basis.
+func TestReadSetOf(t *testing.T) {
+	man := &Manifest{
+		Version: ManifestV3, Epoch: 5, Parent: 4,
+		Shards: []ShardInfo{
+			{Rank: 0, RefEpoch: 5, Size: 100},
+			{Rank: 1, RefEpoch: 2, Size: 40},
+			{Rank: 2, RefEpoch: 4, Size: 30},
+			{Rank: 3, RefEpoch: 2, Size: 10},
+		},
+	}
+	reads := ReadSetOf(man)
+	want := []netmodel.EpochRead{
+		{Epoch: 5, Shards: 1, Bytes: 100},
+		{Epoch: 4, Shards: 1, Bytes: 30},
+		{Epoch: 2, Shards: 2, Bytes: 50},
+	}
+	if len(reads) != len(want) {
+		t.Fatalf("read set %+v, want %+v", reads, want)
+	}
+	for i := range want {
+		if reads[i] != want[i] {
+			t.Fatalf("read set %+v, want %+v", reads, want)
+		}
+	}
+
+	// All-reference epoch: the restart epoch still leads with zero shards.
+	man.Shards[0].RefEpoch = 4
+	reads = ReadSetOf(man)
+	if reads[0].Epoch != 5 || reads[0].Shards != 0 || reads[0].Bytes != 0 {
+		t.Fatalf("all-reference epoch not leading: %+v", reads)
+	}
+
+	// Padded manifests price every shard at the padded size.
+	man.PaddedBytesPerRank = 1 << 20
+	var total int64
+	for _, r := range ReadSetOf(man) {
+		total += r.Bytes
+	}
+	if total != 4<<20 {
+		t.Fatalf("padded read set bytes %d, want %d", total, int64(4)<<20)
+	}
+}

@@ -15,22 +15,25 @@ import (
 	"strings"
 
 	"mana/internal/ckpt"
+	"mana/internal/netmodel"
 	"mana/internal/rt"
 )
 
 // IncrementalChainReport summarizes a verified chain, for callers that
 // report (ccverify).
 type IncrementalChainReport struct {
-	Epochs       int
-	ReusedShards int // total across the chain
-	FreshShards  int
-	StallSyncVT  float64 // summed job stall of the synchronous full chain
-	StallAsyncVT float64 // summed job stall of the async incremental chain
+	Epochs        int
+	ReusedShards  int // total across the chain
+	FreshShards   int
+	StallSyncVT   float64 // summed job stall of the synchronous full chain
+	StallAsyncVT  float64 // summed job stall of the async incremental chain
+	StallTieredVT float64 // summed job stall of the burst-buffer async chain
+	TierDrainVT   float64 // summed background burst->PFS drain of that chain
 }
 
 func (r *IncrementalChainReport) String() string {
-	return fmt.Sprintf("%d epochs, %d fresh / %d reused shards, stall %.3gs sync-full vs %.3gs async-incremental",
-		r.Epochs, r.FreshShards, r.ReusedShards, r.StallSyncVT, r.StallAsyncVT)
+	return fmt.Sprintf("%d epochs, %d fresh / %d reused shards, stall %.3gs sync-full vs %.3gs async-incremental vs %.3gs burst-tiered (drain %.3gs)",
+		r.Epochs, r.FreshShards, r.ReusedShards, r.StallSyncVT, r.StallAsyncVT, r.StallTieredVT, r.TierDrainVT)
 }
 
 // chainPlan returns a periodic checkpoint plan tuned to land at least
@@ -47,7 +50,7 @@ func chainPlan(goldenRep *rt.Report, minEpochs int) rt.CkptPlan {
 // runChain executes the workload with periodic captures into a fresh
 // FileStore and returns the report plus the store.
 func runChain(o *Options, algo string, goldenRep *rt.Report, factory func(int) rt.App,
-	dir string, minEpochs int, async, incremental bool) (*rt.Report, *ckpt.FileStore, error) {
+	dir string, minEpochs int, async, incremental bool, tier netmodel.StorageTier) (*rt.Report, *ckpt.FileStore, error) {
 	fs, err := ckpt.NewFileStore(dir)
 	if err != nil {
 		return nil, nil, err
@@ -57,10 +60,11 @@ func runChain(o *Options, algo string, goldenRep *rt.Report, factory func(int) r
 	plan.Store = fs
 	plan.Async = async
 	plan.Incremental = incremental
+	plan.Tier = tier
 	cfg.Checkpoint = &plan
 	rep, err := rt.Run(cfg, factory)
 	if err != nil {
-		return nil, nil, fmt.Errorf("chained run (async=%v incremental=%v): %w", async, incremental, err)
+		return nil, nil, fmt.Errorf("chained run (async=%v incremental=%v tier=%v): %w", async, incremental, tier, err)
 	}
 	if !rep.Completed {
 		return nil, nil, fmt.Errorf("chained run did not complete")
@@ -115,16 +119,23 @@ func VerifyIncrementalChain(wl, algo string, opts Options, requireReuse bool) (*
 	defer os.RemoveAll(tmp)
 
 	// Synchronous full captures: the reference chain.
-	syncRep, syncFS, err := runChain(&o, algo, goldenRep, factory, tmp+"/sync", minEpochs, false, false)
+	syncRep, syncFS, err := runChain(&o, algo, goldenRep, factory, tmp+"/sync", minEpochs, false, false, netmodel.TierPFS)
 	if err != nil {
 		return nil, err
 	}
 	// Asynchronous incremental captures: the staged pipeline under test.
-	asyncRep, asyncFS, err := runChain(&o, algo, goldenRep, factory, tmp+"/async", minEpochs, true, true)
+	asyncRep, asyncFS, err := runChain(&o, algo, goldenRep, factory, tmp+"/async", minEpochs, true, true, netmodel.TierPFS)
 	if err != nil {
 		return nil, err
 	}
-	for _, rep := range []*rt.Report{syncRep, asyncRep} {
+	// The same pipeline staged on the burst-buffer tier: tier selection is
+	// pure virtual-time accounting, so the chain must stay digest-identical
+	// while stalling even less than the PFS async chain.
+	tieredRep, tieredFS, err := runChain(&o, algo, goldenRep, factory, tmp+"/tiered", minEpochs, true, true, netmodel.TierBurstBuffer)
+	if err != nil {
+		return nil, err
+	}
+	for _, rep := range []*rt.Report{syncRep, asyncRep, tieredRep} {
 		if rep.StateDigest != goldenRep.StateDigest {
 			return nil, fmt.Errorf("chained run diverged from golden: %.12s != %.12s",
 				rep.StateDigest, goldenRep.StateDigest)
@@ -147,9 +158,21 @@ func VerifyIncrementalChain(wl, algo string, opts Options, requireReuse bool) (*
 				st.StallVT, st.OverlapVT, st.WriteVT)
 		}
 	}
-	if len(asyncRep.CheckpointHistory) < minEpochs || len(syncRep.CheckpointHistory) < minEpochs {
-		return nil, fmt.Errorf("only %d async / %d sync chained captures (want >= %d)",
-			len(asyncRep.CheckpointHistory), len(syncRep.CheckpointHistory), minEpochs)
+	for _, st := range tieredRep.CheckpointHistory {
+		rpt.StallTieredVT += st.StallVT
+		rpt.TierDrainVT += st.TierDrainVT
+		if st.Tier != netmodel.TierBurstBuffer {
+			return nil, fmt.Errorf("tiered capture charged to the wrong tier: %+v", st)
+		}
+		if st.TierDrainVT <= 0 {
+			return nil, fmt.Errorf("burst-tier capture accrued no PFS drain: %+v", st)
+		}
+	}
+	if len(asyncRep.CheckpointHistory) < minEpochs || len(syncRep.CheckpointHistory) < minEpochs ||
+		len(tieredRep.CheckpointHistory) < minEpochs {
+		return nil, fmt.Errorf("only %d async / %d sync / %d tiered chained captures (want >= %d)",
+			len(asyncRep.CheckpointHistory), len(syncRep.CheckpointHistory),
+			len(tieredRep.CheckpointHistory), minEpochs)
 	}
 	// Compare the MEAN job-visible stall per capture: capture counts may
 	// drift between the two runs (host scheduling shifts where chained
@@ -162,6 +185,13 @@ func VerifyIncrementalChain(wl, algo string, opts Options, requireReuse bool) (*
 		return nil, fmt.Errorf("async incremental captures stalled %.4gs each, not below synchronous %.4gs",
 			meanAsync, meanSync)
 	}
+	// The burst tier's open latency undercuts the PFS's, so the tiered
+	// async chain must stall even less per capture.
+	meanTiered := rpt.StallTieredVT / float64(len(tieredRep.CheckpointHistory))
+	if meanTiered >= meanAsync {
+		return nil, fmt.Errorf("burst-tier captures stalled %.4gs each, not below PFS async %.4gs",
+			meanTiered, meanAsync)
+	}
 	if requireReuse && rpt.ReusedShards == 0 {
 		return nil, fmt.Errorf("low-churn chain reused no shards (%d fresh)", rpt.FreshShards)
 	}
@@ -170,6 +200,9 @@ func VerifyIncrementalChain(wl, algo string, opts Options, requireReuse bool) (*
 	// this is the digest-identity between the async incremental pipeline and
 	// the synchronous full path.
 	if _, err := restartEverySealed(&o, algo, wl+"/sync-full", syncFS, goldenRep.StateDigest, factory); err != nil {
+		return nil, err
+	}
+	if _, err := restartEverySealed(&o, algo, wl+"/burst-tiered", tieredFS, goldenRep.StateDigest, factory); err != nil {
 		return nil, err
 	}
 	n, err := restartEverySealed(&o, algo, wl+"/async-incremental", asyncFS, goldenRep.StateDigest, factory)
@@ -181,8 +214,19 @@ func VerifyIncrementalChain(wl, algo string, opts Options, requireReuse bool) (*
 		return nil, fmt.Errorf("only %d sealed epochs (want >= %d)", n, minEpochs)
 	}
 
-	if faults, err := ckpt.VerifyStore(asyncFS); err != nil || len(faults) != 0 {
-		return nil, fmt.Errorf("pristine chain did not verify: faults=%v err=%v", faults, err)
+	// Tiered epochs must carry their tier in the sealed manifests.
+	if latest, err := ckpt.LatestEpoch(tieredFS); err != nil {
+		return nil, err
+	} else if man, err := tieredFS.GetManifest(latest); err != nil {
+		return nil, err
+	} else if man.Tier != int(netmodel.TierBurstBuffer) {
+		return nil, fmt.Errorf("tiered chain sealed manifest carries tier %d, want burst", man.Tier)
+	}
+
+	for _, fs := range []*ckpt.FileStore{asyncFS, tieredFS} {
+		if faults, err := ckpt.VerifyStore(fs); err != nil || len(faults) != 0 {
+			return nil, fmt.Errorf("pristine chain did not verify: faults=%v err=%v", faults, err)
+		}
 	}
 
 	// Negative leg: damage a shard that a LATER epoch references (extends

@@ -1,0 +1,270 @@
+package harness
+
+// Failure model: expected-makespan accounting and Monte Carlo failure
+// injection for periodic checkpointing under exponential node failures,
+// plus the Young/Daly optimal-interval calculator. The "failures"
+// experiment sweeps checkpoint interval against makespan on each storage
+// tier and validates the calculator against the swept optimum.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mana/internal/netmodel"
+)
+
+// YoungInterval returns Young's first-order optimal checkpoint interval
+// sqrt(2*delta*mtbf) for a per-checkpoint job-visible cost delta and a
+// job-wide mean time between failures.
+func YoungInterval(delta, mtbf float64) float64 {
+	return math.Sqrt(2 * delta * mtbf)
+}
+
+// DalyInterval returns Daly's higher-order estimate of the optimal
+// checkpoint interval (J. T. Daly, "A higher order estimate of the optimum
+// checkpoint interval for restart dumps", FGCS 2006):
+//
+//	tau* = sqrt(2*delta*M) * [1 + (1/3)sqrt(delta/2M) + (1/9)(delta/2M)] - delta
+//
+// valid for delta < 2M; beyond that bound (checkpoints costing on the order
+// of the MTBF itself) Daly prescribes tau* = M.
+func DalyInterval(delta, mtbf float64) float64 {
+	if delta >= 2*mtbf {
+		return mtbf
+	}
+	x := delta / (2 * mtbf)
+	return YoungInterval(delta, mtbf)*(1+math.Sqrt(x)/3+x/9) - delta
+}
+
+// ExpectedMakespan returns the expected wall-clock completion time of a job
+// needing work seconds of pure compute, checkpointing every tau seconds of
+// progress at a job-visible cost of delta, restarting in restart seconds,
+// under exponential failures with job-wide MTBF mtbf. It is Daly's complete
+// model for exponential interrupts:
+//
+//	E[T] = (work/tau) * M * e^(restart/M) * (e^((tau+delta)/M) - 1)
+//
+// The e^(restart/M) factor accounts for failures striking during recovery
+// itself. A non-positive or infinite mtbf means a failure-free machine: the
+// job pays only its work plus the checkpoint overhead.
+func ExpectedMakespan(work, tau, delta, restart, mtbf float64) float64 {
+	if tau <= 0 {
+		return math.Inf(1)
+	}
+	segments := work / tau
+	if mtbf <= 0 || math.IsInf(mtbf, 1) {
+		return work + segments*delta
+	}
+	return segments * mtbf * math.Exp(restart/mtbf) * (math.Expm1((tau + delta) / mtbf))
+}
+
+// FailureSim is one Monte Carlo failure-injection configuration: the same
+// quantities ExpectedMakespan prices analytically, simulated with
+// exponential inter-failure times from a seeded deterministic source.
+type FailureSim struct {
+	Work    float64 // pure compute seconds to finish
+	Tau     float64 // compute seconds between checkpoints
+	Delta   float64 // job-visible stall per checkpoint
+	Restart float64 // recovery cost charged after each failure
+	MTBF    float64 // job-wide mean time between failures
+	Trials  int     // independent job executions to average over
+	Seed    int64   // RNG seed; a fixed seed makes sweeps reproducible and
+	// gives every swept interval common random numbers
+}
+
+// Run simulates Trials executions and returns the mean makespan. Progress
+// rolls back to the last completed checkpoint on every failure; a failure
+// during a checkpoint loses the interval being protected; failures during
+// recovery are folded into Restart (the analytic model's e^(R/M) factor
+// prices the same effect).
+func (s FailureSim) Run() float64 {
+	if s.Tau <= 0 {
+		return math.Inf(1) // mirrors ExpectedMakespan: no progress protection
+	}
+	trials := s.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	var sum float64
+	for t := 0; t < trials; t++ {
+		var elapsed, done float64
+		nextFail := rng.ExpFloat64() * s.MTBF
+		for done < s.Work {
+			seg := math.Min(s.Tau, s.Work-done)
+			cost := seg
+			if done+seg < s.Work {
+				cost += s.Delta // the final segment needs no protective dump
+			}
+			if s.MTBF > 0 && elapsed+cost > nextFail {
+				elapsed = nextFail + s.Restart
+				nextFail = elapsed + rng.ExpFloat64()*s.MTBF
+				continue // rolled back to `done`
+			}
+			elapsed += cost
+			done += seg
+		}
+		sum += elapsed
+	}
+	return sum / float64(trials)
+}
+
+// failureTier is one storage configuration of the failure sweep.
+type failureTier struct {
+	name    string
+	tier    netmodel.StorageTier
+	async   bool
+	delta   float64
+	restart float64
+}
+
+// failureTiers derives the per-checkpoint stall and restart cost of each
+// swept configuration from the storage model at Figure 9's padded image
+// size: synchronous dumps to either tier stall for the full tier write,
+// asynchronous burst-buffer dumps stall only for the burst open latency.
+// Restart always reads the full image back from the tier holding it.
+func failureTiers(m *netmodel.Model, bytes int64, nodes, ranks int) []failureTier {
+	read := func(t netmodel.StorageTier) float64 {
+		return m.RestartReadCost(t, []netmodel.EpochRead{{Shards: ranks, Bytes: bytes}}, nodes)
+	}
+	return []failureTier{
+		{
+			name:    "pfs-sync",
+			tier:    netmodel.TierPFS,
+			delta:   m.TierWriteCost(netmodel.TierPFS, bytes, nodes, false).Stall,
+			restart: read(netmodel.TierPFS),
+		},
+		{
+			name:    "burst-sync",
+			tier:    netmodel.TierBurstBuffer,
+			delta:   m.TierWriteCost(netmodel.TierBurstBuffer, bytes, nodes, false).Stall,
+			restart: read(netmodel.TierBurstBuffer),
+		},
+		{
+			name:    "burst-async",
+			tier:    netmodel.TierBurstBuffer,
+			async:   true,
+			delta:   m.TierWriteCost(netmodel.TierBurstBuffer, 0, nodes, true).Stall,
+			restart: read(netmodel.TierBurstBuffer),
+		},
+	}
+}
+
+// sweepGrid returns a geometric interval grid centered on the predicted
+// optimum: predicted * ratio^k for k in [-span, span].
+func sweepGrid(predicted float64, span int, ratio float64) []float64 {
+	grid := make([]float64, 0, 2*span+1)
+	for k := -span; k <= span; k++ {
+		grid = append(grid, predicted*math.Pow(ratio, float64(k)))
+	}
+	return grid
+}
+
+// FailureSweepRatio is the geometric step between swept checkpoint
+// intervals; "within one sweep step" in the validation below means within
+// this factor of the analytic optimum.
+const FailureSweepRatio = 1.35
+
+// youngDalySweep is the one sweep implementation every consumer shares:
+// it builds the geometric grid around Daly's predicted optimum (which sits
+// at grid index span by construction), prices every interval with
+// ExpectedMakespan, and locates the minimum. validateSweep is the shared
+// acceptance check on its output.
+func youngDalySweep(work, delta, restart, mtbf float64, span int) (grid, expected []float64, best int, predicted float64) {
+	predicted = DalyInterval(delta, mtbf)
+	grid = sweepGrid(predicted, span, FailureSweepRatio)
+	expected = make([]float64, len(grid))
+	best = -1
+	bestT := math.Inf(1)
+	for i, tau := range grid {
+		expected[i] = ExpectedMakespan(work, tau, delta, restart, mtbf)
+		if expected[i] < bestT {
+			best, bestT = i, expected[i]
+		}
+	}
+	return grid, expected, best, predicted
+}
+
+// validateSweep errors unless the swept minimum sits on the predicted grid
+// center or an adjacent point — "within one sweep step".
+func validateSweep(grid []float64, best, span int, predicted float64) error {
+	if d := best - span; d < -1 || d > 1 {
+		return fmt.Errorf("harness: Daly prediction %.0fs is %d sweep steps from the swept optimum %.0fs",
+			predicted, d, grid[best])
+	}
+	return nil
+}
+
+// ValidateYoungDaly sweeps the expected-makespan model over a geometric
+// interval grid and reports whether Daly's predicted optimum lands within
+// one grid step of the swept minimum. Returned is the swept optimum, the
+// prediction, and an error when the prediction misses.
+func ValidateYoungDaly(work, delta, restart, mtbf float64) (sweptOpt, predicted float64, err error) {
+	const span = 6
+	grid, _, best, predicted := youngDalySweep(work, delta, restart, mtbf, span)
+	return grid[best], predicted, validateSweep(grid, best, span, predicted)
+}
+
+// FailureSweep regenerates the checkpoint-interval/failure-rate trade-off:
+// for each storage configuration it sweeps the checkpoint interval around
+// the Young/Daly optimum and reports expected (analytic) and simulated
+// (Monte Carlo failure injection) makespans, marking each configuration's
+// swept optimum. The experiment id is "failures".
+func FailureSweep(o Options) (*Table, error) {
+	nodes := o.FailureNodes
+	if nodes <= 0 {
+		nodes = 16
+	}
+	ranks := nodes * o.PPN
+	mtbfNode := o.NodeMTBFHours
+	if mtbfNode <= 0 {
+		mtbfNode = 10000
+	}
+	workHours := o.FailureWorkHours
+	if workHours <= 0 {
+		workHours = 24
+	}
+	mtbf := mtbfNode * 3600 / float64(nodes) // any node failing kills the job
+	work := workHours * 3600
+	const perRankImage = int64(398) << 20 // Figure 9's VASP image size
+	bytes := perRankImage * int64(ranks)
+	m := netmodel.New(o.Params, o.PPN)
+
+	t := &Table{
+		Title: fmt.Sprintf("Failure sweep: checkpoint interval vs makespan (%d nodes, %d procs, node MTBF %.0fh, %.0fh of work)",
+			nodes, ranks, mtbfNode, workHours),
+		Header: []string{"config", "interval (s)", "ckpt stall (s)", "expected (h)", "simulated (h)", "optimum"},
+		Notes: []string{
+			"expected = Daly's exponential-failure model; simulated = seeded Monte Carlo",
+			"failure injection (400 trials); 'Young/Daly' rows are the calculator's",
+			"predicted optima — each must sit within one sweep step (x" + fmt.Sprint(FailureSweepRatio) + ") of its",
+			"config's swept minimum; the fast tier shrinks the stall, which both",
+			"shortens the optimal interval and cuts the expected makespan",
+		},
+	}
+	for _, ft := range failureTiers(m, bytes, nodes, ranks) {
+		// The rendered grid IS the validated grid: the "<- swept" marker and
+		// the acceptance check come from the same sweep.
+		const span = 4
+		grid, expected, best, predicted := youngDalySweep(work, ft.delta, ft.restart, mtbf, span)
+		for i, tau := range grid {
+			sim := FailureSim{
+				Work: work, Tau: tau, Delta: ft.delta, Restart: ft.restart,
+				MTBF: mtbf, Trials: 400, Seed: 1,
+			}.Run()
+			mark := ""
+			if i == best {
+				mark = "<- swept"
+			}
+			t.AddRow(ft.name, fmt.Sprintf("%.0f", tau), fmt.Sprintf("%.3f", ft.delta),
+				fmt.Sprintf("%.3f", expected[i]/3600), fmt.Sprintf("%.3f", sim/3600), mark)
+		}
+		t.AddRow(ft.name, fmt.Sprintf("%.0f", predicted), fmt.Sprintf("%.3f", ft.delta),
+			"-", "-", "<- Young/Daly")
+		if err := validateSweep(grid, best, span, predicted); err != nil {
+			return nil, fmt.Errorf("%s: %w", ft.name, err)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mana/internal/netmodel"
+)
+
+// Young's and Daly's formulas at a textbook operating point.
+func TestIntervalCalculators(t *testing.T) {
+	const delta, mtbf = 60.0, 24 * 3600.0
+	young := YoungInterval(delta, mtbf)
+	if math.Abs(young-math.Sqrt(2*delta*mtbf)) > 1e-9 {
+		t.Fatalf("Young interval %g", young)
+	}
+	daly := DalyInterval(delta, mtbf)
+	// Daly's correction is small and positive-before-subtraction: the
+	// result sits within a few percent of Young minus delta.
+	if daly <= young-2*delta || daly >= young*1.1 {
+		t.Fatalf("Daly interval %g implausible against Young %g", daly, young)
+	}
+	// Expensive-dump regime: Daly prescribes tau = MTBF.
+	if got := DalyInterval(3*mtbf, mtbf); got != mtbf {
+		t.Fatalf("beyond-validity Daly interval %g, want MTBF %g", got, mtbf)
+	}
+}
+
+// The expected-makespan model must (a) reduce to work + overhead on a
+// failure-free machine, (b) grow when failures appear, and (c) be convex
+// enough that sweeping it recovers Daly's optimum — the acceptance
+// criterion: the predicted interval lands within one sweep step of the
+// swept minimum, across tiers and failure rates.
+func TestExpectedMakespanAndDalyOptimum(t *testing.T) {
+	const work = 24 * 3600.0
+	// Failure-free machine: the analytic model charges every segment's dump.
+	if got, want := ExpectedMakespan(work, 3600, 60, 120, math.Inf(1)), work+(work/3600)*60; got != want {
+		t.Fatalf("failure-free makespan %g, want %g", got, want)
+	}
+	withF := ExpectedMakespan(work, 3600, 60, 120, 12*3600)
+	without := ExpectedMakespan(work, 3600, 60, 120, math.Inf(1))
+	if withF <= without {
+		t.Fatalf("failures did not lengthen the job: %g vs %g", withF, without)
+	}
+
+	m := netmodel.New(netmodel.PerlmutterLike(), 128)
+	const nodes, ranks = 16, 16 * 128
+	bytes := int64(398<<20) * int64(ranks)
+	for _, ft := range failureTiers(m, bytes, nodes, ranks) {
+		for _, mtbfNodeH := range []float64{2000, 10000, 50000} {
+			mtbf := mtbfNodeH * 3600 / nodes
+			if _, _, err := ValidateYoungDaly(work, ft.delta, ft.restart, mtbf); err != nil {
+				t.Errorf("node MTBF %.0fh: %v", mtbfNodeH, err)
+			}
+		}
+	}
+}
+
+// Monte Carlo failure injection must be deterministic for a fixed seed,
+// track the analytic expectation at the optimum, and degrade for intervals
+// far from it the way the model predicts.
+func TestFailureSimulation(t *testing.T) {
+	const work, delta, restart, mtbf = 24 * 3600.0, 30.0, 120.0, 6 * 3600.0
+	tau := DalyInterval(delta, mtbf)
+	sim := FailureSim{Work: work, Tau: tau, Delta: delta, Restart: restart,
+		MTBF: mtbf, Trials: 400, Seed: 1}
+	a, b := sim.Run(), sim.Run()
+	if a != b {
+		t.Fatalf("seeded simulation not deterministic: %g vs %g", a, b)
+	}
+	expected := ExpectedMakespan(work, tau, delta, restart, mtbf)
+	if math.Abs(a-expected)/expected > 0.15 {
+		t.Fatalf("simulated %g strays >15%% from analytic %g at the optimum", a, expected)
+	}
+	// A pathologically long interval (never checkpointing inside the MTBF)
+	// must simulate much worse than the optimum.
+	long := sim
+	long.Tau = 20 * mtbf
+	if worse := long.Run(); worse < 2*a {
+		t.Fatalf("checkpoint-free interval not punished: %g vs optimal %g", worse, a)
+	}
+	// Failure-free corner: exact.
+	noFail := FailureSim{Work: work, Tau: 3600, Delta: delta, MTBF: 0, Trials: 3, Seed: 1}
+	if got, want := noFail.Run(), work+23*delta; got != want {
+		t.Fatalf("failure-free simulation %g, want %g", got, want)
+	}
+	// Degenerate interval: priced infinite (like ExpectedMakespan), never a hang.
+	if got := (FailureSim{Work: 100, Tau: 0, Delta: 1, MTBF: 3600, Trials: 1}).Run(); !math.IsInf(got, 1) {
+		t.Fatalf("Tau<=0 should price +Inf, got %g", got)
+	}
+}
+
+// The registered "failures" experiment renders and embeds its own
+// Young/Daly validation; smoke it at a tiny shape.
+func TestFailureSweepExperiment(t *testing.T) {
+	o := DefaultOptions()
+	o.FailureNodes = 4
+	o.PPN = 8
+	tab, err := FailureSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 || !strings.Contains(tab.Render(), "Young/Daly") {
+		t.Fatalf("sweep table malformed:\n%s", tab.Render())
+	}
+	for _, cfgName := range []string{"pfs-sync", "burst-sync", "burst-async"} {
+		if !strings.Contains(tab.Render(), cfgName) {
+			t.Fatalf("sweep missing %s rows", cfgName)
+		}
+	}
+}

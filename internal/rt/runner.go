@@ -63,6 +63,12 @@ type CkptPlan struct {
 	// whose state did not change since the previous committed capture are
 	// recorded as references instead of re-written. Requires Store.
 	Incremental bool
+	// Tier selects the storage tier checkpoint writes are charged against
+	// (netmodel.TierPFS by default). TierBurstBuffer stages captures on the
+	// fast tier — with Async the job stalls only for the burst open
+	// latency — while each sealed epoch accrues a background parallel-FS
+	// drain (CheckpointStats.TierDrainVT).
+	Tier netmodel.StorageTier
 	// Store, when non-nil, receives every capture as a sealed epoch (shards
 	// plus manifest) in addition to the in-memory image. Restart can load
 	// any sealed epoch back via RestartFromStore.
@@ -105,6 +111,15 @@ type Report struct {
 
 	// Completed is false when the job exited at a checkpoint (ExitAfterCapture).
 	Completed bool
+
+	// RestartReadVT is the modeled storage read time of the restart this run
+	// began from (zero for runs started fresh): the fixed lower-half
+	// relaunch plus the read fan-in over the image's resolved shard set —
+	// a restart from a store epoch charges every referenced older epoch an
+	// extra open and per-shard seeks on the tier the chain was committed to
+	// (netmodel.RestartReadCost). Like the checkpoint write costs it is a
+	// modeled quantity, not charged to the rank clocks.
+	RestartReadVT float64
 
 	// RankSteps counts the application steps each rank completed; the
 	// conformance engine derives its trigger sweep from rank 0's count.
@@ -177,6 +192,7 @@ func newCoordinator(w *mpi.World, plan *CkptPlan) (*ckpt.Coordinator, error) {
 		coord.CaptureWorkers = plan.CaptureWorkers
 		coord.Async = plan.Async
 		coord.Incremental = plan.Incremental
+		coord.Tier = plan.Tier
 		store := plan.Store
 		if store == nil && plan.Incremental {
 			// Incremental reuse needs epochs to diff against; default to an
@@ -511,14 +527,29 @@ func Restart(cfg Config, img *ckpt.JobImage, factory func(rank int) App) (*Repor
 	if _, err := newAlgorithm(cfg.Algorithm, coord); err != nil {
 		return nil, err
 	}
-	return runJob(cfg, w, coord, factory, img)
+	rep, err := runJob(cfg, w, coord, factory, img)
+	if rep != nil {
+		// A self-contained image is a depth-1 read: one sequential scan of
+		// the whole (possibly padded) image off the parallel filesystem.
+		// RestartFromStore overrides this with the chain-aware fan-in.
+		rep.RestartReadVT = w.Model.RestartReadTime(img.TotalBytes(), nodesOf(cfg))
+	}
+	return rep, err
 }
+
+// nodesOf returns the node count of a job's placement.
+func nodesOf(cfg Config) int { return (cfg.Ranks + cfg.PPN - 1) / cfg.PPN }
 
 // RestartFromStore rebuilds a job from a checkpoint store epoch: the epoch's
 // manifest is read, every shard resolved through the reference chain
 // (incremental captures record unchanged shards as references into earlier
 // epochs), verified, and decoded, and the job restarts exactly as from an
 // in-memory image. epoch < 0 selects the store's newest sealed epoch.
+//
+// The report's RestartReadVT prices the chain, not a flat image: the read
+// set is the manifest's resolved shard fan-in (ckpt.ReadSetOf), charged on
+// the tier the epoch was committed to, so a deep incremental chain restarts
+// measurably slower than a fresh full capture of the same bytes.
 func RestartFromStore(cfg Config, store ckpt.Store, epoch int, factory func(rank int) App) (*Report, error) {
 	if epoch < 0 {
 		latest, err := ckpt.LatestEpoch(store)
@@ -527,11 +558,21 @@ func RestartFromStore(cfg Config, store ckpt.Store, epoch int, factory func(rank
 		}
 		epoch = latest
 	}
+	man, err := store.GetManifest(epoch)
+	if err != nil {
+		return nil, err
+	}
 	img, err := ckpt.LoadJobImage(store, epoch)
 	if err != nil {
 		return nil, err
 	}
-	return Restart(cfg, img, factory)
+	rep, err := Restart(cfg, img, factory)
+	if rep != nil {
+		m := netmodel.New(cfg.Params, cfg.PPN) // cfg validated by Restart
+		rep.RestartReadVT = m.RestartReadCost(
+			netmodel.StorageTier(man.Tier), ckpt.ReadSetOf(man), nodesOf(cfg))
+	}
+	return rep, err
 }
 
 // restoreFromImage restores one rank's upper half: application state,

@@ -94,9 +94,25 @@
 // loads any sealed epoch (RestartFromStore), resolving reference chains and
 // attributing corruption to the exact epoch and rank. The conformance
 // engine's incremental sweep (ccverify -incremental) asserts digest
-// equality from every epoch of a FileStore chain, and its fault-injection
-// suite (ccverify -faults) kills ranks mid-drain and mid-capture and
-// asserts the coordinator aborts with diagnostics instead of wedging.
+// equality from every epoch of a FileStore chain — on both storage tiers —
+// and its fault-injection suite (ccverify -faults) kills ranks mid-drain
+// and mid-capture and asserts the coordinator aborts with diagnostics
+// instead of wedging.
+//
+// # Storage tiers and the failure model
+//
+// Checkpoint writes are charged to a storage tier (CkptPlan.Tier): the
+// shared parallel filesystem (TierPFS, the default) or a burst buffer
+// (TierBurstBuffer) with cheaper opens and node-scaling bandwidth.
+// Burst-tier epochs accrue a background drain to the PFS
+// (CheckpointStats.TierDrainVT) that never stalls the job. Restart reads
+// are priced over the resolved shard set of the incremental chain
+// (Report.RestartReadVT): older referenced epochs cost extra opens and
+// per-shard seeks, so deeper chains restart slower. The harness sweeps
+// checkpoint interval against expected makespan under exponential node
+// failures and validates the Young/Daly optimal interval (ccbench -exp
+// failures, internal/harness/failure.go); ARCHITECTURE.md has the full
+// map.
 package mana
 
 import (
@@ -144,6 +160,12 @@ type (
 	CheckpointStats = ckpt.CheckpointStats
 	// Params holds the network/storage model constants.
 	Params = netmodel.Params
+	// StorageTier selects a checkpoint storage tier (TierPFS or
+	// TierBurstBuffer) for CkptPlan.Tier.
+	StorageTier = netmodel.StorageTier
+	// EpochRead is one epoch's contribution to a restart's read fan-in
+	// (see Model.RestartReadCost and ckpt.ReadSetOf).
+	EpochRead = netmodel.EpochRead
 	// CollKind enumerates collective operations (Bcast, Allreduce, ...).
 	CollKind = netmodel.CollKind
 	// Op is a reduction operation (OpSum, OpMax, OpMin, OpProd).
@@ -161,6 +183,17 @@ const (
 	// AlgoCC is the paper's collective-clock algorithm: near-zero runtime
 	// overhead, non-blocking collectives supported.
 	AlgoCC = rt.AlgoCC
+)
+
+// Storage tiers for CkptPlan.Tier.
+const (
+	// TierPFS charges checkpoint writes to the shared parallel filesystem
+	// (the default).
+	TierPFS = netmodel.TierPFS
+	// TierBurstBuffer stages checkpoints on the fast tier: lower stall,
+	// with a background drain to the parallel filesystem accounted as
+	// CheckpointStats.TierDrainVT.
+	TierBurstBuffer = netmodel.TierBurstBuffer
 )
 
 // Checkpoint modes.
