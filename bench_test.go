@@ -10,6 +10,7 @@ package mana
 import (
 	"bytes"
 	"encoding/gob"
+	"math"
 	"testing"
 	"time"
 
@@ -558,6 +559,109 @@ func BenchmarkTieredCheckpoint(b *testing.B) {
 		}
 		b.ReportMetric(syncShrink, "stall-shrink-x")
 		b.ReportMetric(asyncShrink, "async-shrink-x")
+	})
+}
+
+// BenchmarkStreamingCheckpoint measures the bounded-memory streaming commit
+// path at Figure 9's padded scale: 64 ranks at ~398 MB per rank (~25 GB of
+// modeled image) on the periodic straggler run, committed through the
+// streaming shard API under a deliberately small in-flight encode budget.
+// The headline metrics are the peak streaming-encode memory per capture
+// ("peak-enc-mb" — the benchmark FAILS if it ever exceeds the budget; at
+// paper sizes it sits orders of magnitude below the image, reported as
+// "img-over-peak-x") and the mean job-visible stall per capture, which must
+// match the blob path within float noise ("stall-s" for both): streaming
+// changes how bytes move, not the storage traffic the netmodel prices.
+func BenchmarkStreamingCheckpoint(b *testing.B) {
+	const (
+		ranks  = 64
+		padded = 398 << 20 // Figure 9's VASP per-rank image size
+		budget = int64(8) << 20
+	)
+	elems := 64 << 10
+	if testing.Short() {
+		elems = 8 << 10
+	}
+
+	run := func(b *testing.B, store ckpt.Store, async, incremental bool) (stall float64, peak int64) {
+		cfg := rt.Config{
+			Ranks: ranks, PPN: 32, Params: netmodel.PerlmutterLike(), Algorithm: rt.AlgoCC,
+			Checkpoint: &rt.CkptPlan{
+				AtStep: 4, Every: 1e-6, Mode: ckpt.ContinueAfterCapture,
+				Store: store, Async: async, Incremental: incremental,
+				StreamBudgetBytes:  budget,
+				PaddedBytesPerRank: padded,
+			},
+		}
+		scfg := apps.StragglerConfig{
+			HotRanks: 2, ColdSteps: 2, HotIters: 24,
+			StateElems: elems, HotStateElems: 256,
+		}
+		rep, err := rt.Run(cfg, func(rank int) rt.App {
+			return apps.NewStraggler(scfg, rank)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.CheckpointHistory) < 3 {
+			b.Fatalf("only %d chained captures", len(rep.CheckpointHistory))
+		}
+		for _, st := range rep.CheckpointHistory {
+			stall += st.StallVT
+			if store != nil {
+				// All-reused epochs stream nothing and legitimately peak at
+				// zero; a capture with fresh shards must report its peak.
+				if st.PeakEncodeBytes <= 0 && st.FreshShards > 0 {
+					b.Fatalf("capture reported no streaming-encode peak: %+v", st)
+				}
+				if st.PeakEncodeBytes > budget {
+					b.Fatalf("peak encode %d bytes exceeds the %d budget", st.PeakEncodeBytes, budget)
+				}
+				if st.PeakEncodeBytes > peak {
+					peak = st.PeakEncodeBytes
+				}
+			}
+		}
+		return stall / float64(len(rep.CheckpointHistory)), peak
+	}
+
+	b.Run("blob-sync", func(b *testing.B) {
+		var stall float64
+		for i := 0; i < b.N; i++ {
+			stall, _ = run(b, nil, false, false)
+		}
+		b.ReportMetric(stall, "stall-s")
+	})
+	b.Run("stream-sync-full", func(b *testing.B) {
+		var stall float64
+		var peak int64
+		for i := 0; i < b.N; i++ {
+			stall, peak = run(b, ckpt.NewMemStore(), false, false)
+		}
+		b.ReportMetric(stall, "stall-s")
+		b.ReportMetric(float64(peak)/(1<<20), "peak-enc-mb")
+		b.ReportMetric(float64(padded)*ranks/float64(peak), "img-over-peak-x")
+	})
+	b.Run("stream-async-incremental", func(b *testing.B) {
+		var stall float64
+		var peak int64
+		for i := 0; i < b.N; i++ {
+			stall, peak = run(b, ckpt.NewMemStore(), true, true)
+		}
+		b.ReportMetric(stall, "stall-s")
+		b.ReportMetric(float64(peak)/(1<<20), "peak-enc-mb")
+	})
+	b.Run("stall-parity", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			blobStall, _ := run(b, nil, false, false)
+			streamStall, _ := run(b, ckpt.NewMemStore(), false, false)
+			// Same padded bytes on the same tier in the same regime: the
+			// stream must not change the priced stall at all.
+			if diff := math.Abs(streamStall - blobStall); diff > 1e-9*math.Max(blobStall, 1) {
+				b.Fatalf("streamed stall %.9gs drifted from blob stall %.9gs", streamStall, blobStall)
+			}
+			b.ReportMetric(streamStall/blobStall, "stall-ratio")
+		}
 	})
 }
 

@@ -1,8 +1,11 @@
 // Command ccimg inspects and verifies checkpoint images and stores — the
 // restart analog of `file`/`readelf` for MANA images.
 //
-//	ccimg info [-v] <image|store-dir>    job geometry, park census, shard
+//	ccimg info [-v] [-json] <image|store-dir>
+//	                                     job geometry, park census, shard
 //	                                     table / epoch chain summary
+//	                                     (-json: machine-readable manifest
+//	                                     or chain output for scripts)
 //	ccimg verify <image|store-dir>       per-shard integrity check, chain
 //	                                     reference resolution (exit 1 on fault)
 //	ccimg extract -rank N [-epoch E] [-o out.shard] <image|store-dir>
@@ -19,6 +22,7 @@ package main
 
 import (
 	"encoding/gob"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -87,10 +91,17 @@ func readTarget(fs *flag.FlagSet, usage string) (*target, error) {
 func runInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	verbose := fs.Bool("v", false, "per-rank detail")
+	asJSON := fs.Bool("json", false, "machine-readable manifest/chain output")
 	fs.Parse(args)
-	tgt, err := readTarget(fs, "ccimg info [-v] <image-file|store-dir>")
+	tgt, err := readTarget(fs, "ccimg info [-v] [-json] <image-file|store-dir>")
 	if err != nil {
 		return err
+	}
+	if *asJSON {
+		if tgt.store != nil {
+			return storeInfoJSON(tgt.store, tgt.path)
+		}
+		return imageInfoJSON(tgt.blob, tgt.path)
 	}
 	if tgt.store != nil {
 		return storeInfo(tgt.store, tgt.path, *verbose)
@@ -184,6 +195,135 @@ func printRank(ri *ckpt.RankImage) {
 		fmt.Printf("           in-flight: comm %d from %d tag %d (%d bytes)\n",
 			m.CommID, m.SrcComm, m.Tag, len(m.Data))
 	}
+}
+
+// JSON schema for -json output. Checksums are hex strings: uint64 values
+// above 2^53 silently lose precision in JSON consumers that parse numbers
+// as float64 (jq, JavaScript), which a checksum must never do.
+type shardJSON struct {
+	Rank     int     `json:"rank"`
+	Offset   int64   `json:"offset,omitempty"`
+	Size     int64   `json:"size"`
+	RawSize  int64   `json:"raw_size"`
+	Checksum string  `json:"checksum"`
+	RefEpoch *int    `json:"ref_epoch,omitempty"` // v3 store shards only
+	ClockVT  float64 `json:"clock_vt,omitempty"`
+	RawSum   string  `json:"raw_sum,omitempty"`
+}
+
+type epochJSON struct {
+	Epoch              int         `json:"epoch"`
+	Parent             int         `json:"parent"`
+	Tier               string      `json:"tier"`
+	Algorithm          string      `json:"algorithm"`
+	Ranks              int         `json:"ranks"`
+	PPN                int         `json:"ppn"`
+	CaptureVT          float64     `json:"capture_vt"`
+	PaddedBytesPerRank int64       `json:"padded_bytes_per_rank,omitempty"`
+	FreshShards        int         `json:"fresh_shards"`
+	ReusedShards       int         `json:"reused_shards"`
+	FreshBytes         int64       `json:"fresh_bytes"`
+	ReusedBytes        int64       `json:"reused_bytes"`
+	Shards             []shardJSON `json:"shards"`
+}
+
+type infoJSON struct {
+	Kind               string         `json:"kind"` // "image" or "store"
+	Path               string         `json:"path"`
+	Format             string         `json:"format,omitempty"` // image files: "v1" or "v2"
+	Algorithm          string         `json:"algorithm,omitempty"`
+	Ranks              int            `json:"ranks,omitempty"`
+	PPN                int            `json:"ppn,omitempty"`
+	CaptureVT          float64        `json:"capture_vt,omitempty"`
+	TotalBytes         int64          `json:"total_bytes,omitempty"`
+	PaddedBytesPerRank int64          `json:"padded_bytes_per_rank,omitempty"`
+	Parks              map[string]int `json:"parks,omitempty"`
+	InflightMessages   int            `json:"inflight_messages,omitempty"`
+	InflightBytes      int            `json:"inflight_bytes,omitempty"`
+	PendingRecvs       int            `json:"pending_recvs,omitempty"`
+	Shards             []shardJSON    `json:"shards,omitempty"` // v2 images
+	Epochs             []epochJSON    `json:"epochs,omitempty"` // stores
+}
+
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// imageInfoJSON renders one encoded image's manifest machine-readably.
+func imageInfoJSON(blob []byte, path string) error {
+	img, err := ckpt.DecodeJobImage(blob)
+	if err != nil {
+		return err
+	}
+	out := infoJSON{
+		Kind: "image", Path: path, Format: "v1",
+		Algorithm: img.Algorithm, Ranks: img.Ranks, PPN: img.PPN,
+		CaptureVT: img.CaptureVT, TotalBytes: img.TotalBytes(),
+		PaddedBytesPerRank: img.PaddedBytesPerRank,
+		Parks:              map[string]int{},
+	}
+	for i := range img.Images {
+		ri := &img.Images[i]
+		out.Parks[ri.Desc.Kind.String()]++
+		out.InflightMessages += len(ri.Inflight)
+		for _, m := range ri.Inflight {
+			out.InflightBytes += len(m.Data)
+		}
+		out.PendingRecvs += len(ri.Desc.Recvs)
+	}
+	if man, err := ckpt.DecodeManifest(blob); err == nil {
+		out.Format = "v2"
+		for _, si := range man.Shards {
+			out.Shards = append(out.Shards, shardJSON{
+				Rank: si.Rank, Offset: si.Offset, Size: si.Size,
+				RawSize: si.RawSize, Checksum: fmt.Sprintf("%016x", si.Checksum),
+			})
+		}
+	}
+	return emitJSON(&out)
+}
+
+// storeInfoJSON renders a store's whole epoch chain machine-readably.
+func storeInfoJSON(store *ckpt.FileStore, path string) error {
+	epochs, err := store.Epochs()
+	if err != nil {
+		return err
+	}
+	out := infoJSON{Kind: "store", Path: path, Epochs: []epochJSON{}}
+	for _, e := range epochs {
+		man, err := store.GetManifest(e)
+		if err != nil {
+			return err
+		}
+		ej := epochJSON{
+			Epoch: man.Epoch, Parent: man.Parent,
+			Tier:      netmodel.StorageTier(man.Tier).String(),
+			Algorithm: man.Algorithm, Ranks: man.Ranks, PPN: man.PPN,
+			CaptureVT:          man.CaptureVT,
+			PaddedBytesPerRank: man.PaddedBytesPerRank,
+			Shards:             []shardJSON{},
+		}
+		for _, si := range man.Shards {
+			ref := si.RefEpoch
+			ej.Shards = append(ej.Shards, shardJSON{
+				Rank: si.Rank, Size: si.Size, RawSize: si.RawSize,
+				Checksum: fmt.Sprintf("%016x", si.Checksum),
+				RefEpoch: &ref, ClockVT: si.ClockVT,
+				RawSum: fmt.Sprintf("%016x", si.RawSum),
+			})
+			if si.RefEpoch == man.Epoch {
+				ej.FreshShards++
+				ej.FreshBytes += si.Size
+			} else {
+				ej.ReusedShards++
+				ej.ReusedBytes += si.Size
+			}
+		}
+		out.Epochs = append(out.Epochs, ej)
+	}
+	return emitJSON(&out)
 }
 
 // storeInfo renders a checkpoint store's epoch chain.

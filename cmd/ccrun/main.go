@@ -42,6 +42,7 @@ func main() {
 		async    = flag.Bool("async", false, "staged pipeline: resume the job while shards encode and commit")
 		tier     = flag.String("tier", "pfs", "storage tier checkpoints are charged to: pfs or burst")
 		incr     = flag.Bool("incremental", false, "reuse unchanged shards from the previous epoch (implies a store)")
+		budgetMB = flag.Int("stream-budget", 0, "in-flight streaming-encode budget in MiB for store commits (0 = default)")
 		storeDir = flag.String("store", "", "commit each capture as an epoch in this store directory")
 		image    = flag.String("image", "", "write the checkpoint image to this file")
 		restart  = flag.String("restart", "", "restart from this image file")
@@ -60,12 +61,15 @@ func main() {
 		Params:    mana.PerlmutterLike(),
 		Algorithm: *algo,
 	}
-	if *ckptAt <= 0 && (*storeDir != "" || *async || *incr || *every > 0 || *tier != "pfs") {
+	if *ckptAt <= 0 && (*storeDir != "" || *async || *incr || *every > 0 || *tier != "pfs" || *budgetMB != 0) {
 		// These flags only shape a checkpoint plan; without a first trigger
 		// they would be silently discarded and the run would complete with
 		// zero captures — surfaced only when a later restart finds an empty
 		// store.
-		fail(fmt.Errorf("-store/-async/-incremental/-every/-tier require -ckpt-at to schedule the first checkpoint"))
+		fail(fmt.Errorf("-store/-async/-incremental/-every/-tier/-stream-budget require -ckpt-at to schedule the first checkpoint"))
+	}
+	if *budgetMB < 0 {
+		fail(fmt.Errorf("-stream-budget must be non-negative (MiB)"))
 	}
 	if *every > 0 && !*cont {
 		// Periodic chaining only happens when the job continues after each
@@ -90,6 +94,7 @@ func main() {
 		cfg.Checkpoint = &mana.CkptPlan{
 			AtVT: *ckptAt, Every: *every, Mode: mode,
 			Async: *async, Incremental: *incr, Tier: storageTier,
+			StreamBudgetBytes: int64(*budgetMB) << 20,
 		}
 		if *storeDir != "" {
 			fs, err := mana.NewFileStore(*storeDir)
@@ -161,7 +166,8 @@ func main() {
 			fmt.Printf(", background drain to pfs %.3fs", st.TierDrainVT)
 		}
 		if st.Epoch >= 0 {
-			fmt.Printf(", epoch %d: %d fresh / %d reused shards", st.Epoch, st.FreshShards, st.ReusedShards)
+			fmt.Printf(", epoch %d: %d fresh / %d reused shards, peak encode %.1f MiB",
+				st.Epoch, st.FreshShards, st.ReusedShards, float64(st.PeakEncodeBytes)/(1<<20))
 		}
 		fmt.Println()
 	}

@@ -28,8 +28,17 @@
 // images still decode.
 //
 // The checkpoint path is a staged pipeline (see coordinator.go, store.go,
-// FORMAT.md): stage 1 snapshots all ranks while parked; stages 2–3 encode
-// per-rank shards and commit them to a Store as a sealed epoch. With
+// FORMAT.md): stage 1 snapshots all ranks while parked; stages 2–3 hash
+// per-rank shard identities and STREAM the fresh shards into a Store as a
+// sealed epoch — a small gob header plus raw payload bytes (gob buffers
+// whole messages, so bulk state never passes through it), flate, and
+// checksum flow straight into the store's shard writer (ShardWriter)
+// through pooled fixed-size buffers, with
+// concurrent streams bounded in bytes by a StreamBudget
+// (Coordinator.StreamBudgetBytes; high-water reported as
+// CheckpointStats.PeakEncodeBytes), so peak encode memory never scales
+// with the image size. Restart reads are symmetric (OpenShard streamed
+// through verification into the gob decoder). With
 // Coordinator.Async the job is released after stage 1 against only the
 // storage open latency — the forked-checkpoint analog — and the write time
 // is accounted as overlap instead of stall. With Coordinator.Incremental a

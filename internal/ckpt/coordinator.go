@@ -90,6 +90,14 @@ type CheckpointStats struct {
 	// (including any wait for the preceding epoch's commit to seal).
 	CommitHostSeconds float64
 
+	// PeakEncodeBytes is the high-water mark of the streaming encoder's
+	// in-flight memory during this capture's commit — the quantity the
+	// stream budget bounds. It tracks accounting charges (pooled chunk
+	// buffers plus per-stream compressor state), not Go heap totals, and is
+	// always at or below the configured budget; with MANA-scale images it
+	// sits orders of magnitude below ImageBytes. Zero without a store.
+	PeakEncodeBytes int64
+
 	// Drain-progress counters, summed across ranks at capture time and
 	// reported as per-checkpoint deltas against their values when THIS
 	// checkpoint's request was raised — with periodic (chained) checkpoints,
@@ -158,6 +166,14 @@ type Coordinator struct {
 	// TierDrainVT) migrating it to durable storage.
 	Tier netmodel.StorageTier
 
+	// StreamBudgetBytes bounds the commit stage's in-flight streaming-
+	// encode memory: concurrent shard streams charge their fixed footprint
+	// against the budget and block when it is exhausted, so peak encode
+	// memory never scales with the image size. Zero selects
+	// DefaultStreamBudgetBytes. The realized high-water mark is reported as
+	// CheckpointStats.PeakEncodeBytes.
+	StreamBudgetBytes int64
+
 	pending atomic.Bool // fast-path flag read in every wrapper
 
 	mu        sync.Mutex
@@ -186,6 +202,7 @@ type Coordinator struct {
 	// parent. commitMu/commitCond implement the ordering ticket; lastMan is
 	// the most recently sealed manifest (both guarded by commitMu).
 	store      *ModelStore
+	budget     *StreamBudget // created on first commit, guarded by commitMu
 	nextEpoch  int
 	commitWG   sync.WaitGroup
 	commitMu   sync.Mutex
@@ -582,18 +599,20 @@ type commitResult struct {
 	stats       *CommitStats
 	cost        netmodel.WriteCost
 	drain       float64 // background PFS drain of a burst-tier epoch
+	peakEncode  int64   // streaming encoder's in-flight high-water mark
 	hostSeconds float64
 	err         error
 }
 
-// commitEpoch runs stages 2–3 for one captured image: encode every shard
-// (parallel with other epochs' encodes — it depends only on this image),
-// then under the ordering ticket diff against the previous committed
-// manifest (when Incremental), write fresh shards, and seal the epoch.
-// Called WITHOUT c.mu held.
+// commitEpoch runs stages 2–3 for one captured image: hash every shard's
+// identity (parallel with other epochs' hashing — it depends only on this
+// image), then under the ordering ticket diff against the previous
+// committed manifest (when Incremental), stream the fresh shards into the
+// store under the encode budget, and seal the epoch. Called WITHOUT c.mu
+// held.
 func (c *Coordinator) commitEpoch(epoch int, img *JobImage) commitResult {
 	t0 := time.Now()
-	enc, encErr := EncodeCapture(img)
+	sums, encErr := HashCapture(img)
 
 	// The ticket MUST advance even when this epoch fails (encode or commit):
 	// later epochs wait for committed == their number, and a skipped
@@ -617,22 +636,28 @@ func (c *Coordinator) commitEpoch(epoch int, img *JobImage) commitResult {
 		parent = c.lastMan
 	}
 	// The ModelStore's metering knobs are per-commit; commits are serialized
-	// by the ordering ticket, so setting them here is race-free.
+	// by the ordering ticket, so setting them here is race-free — and so is
+	// reading the shared budget's per-epoch peak below.
 	c.store.Nodes = c.nodes()
 	c.store.Overlapped = c.Async
 	c.store.Tier = c.Tier
 	c.store.PadShardBytes = c.PaddedBytesPerRank
-	man, st, err := CommitEncoded(c.store, epoch, parent, img, enc)
+	if c.budget == nil {
+		c.budget = NewStreamBudget(c.StreamBudgetBytes)
+	}
+	man, st, err := CommitStreamed(c.store, epoch, parent, img, sums, c.budget)
+	peak := c.budget.TakePeak()
 	if err != nil {
 		// Discard any bytes metered before the failure so the next sealed
 		// epoch's cost is not over-charged.
 		c.store.AbortEpoch()
-		return commitResult{epoch: epoch, hostSeconds: time.Since(t0).Seconds(), err: err}
+		return commitResult{epoch: epoch, peakEncode: peak, hostSeconds: time.Since(t0).Seconds(), err: err}
 	}
 	c.lastMan = man
 	return commitResult{
 		epoch: epoch, stats: st, cost: c.store.EpochCost(epoch),
 		drain:       c.store.EpochDrain(epoch),
+		peakEncode:  peak,
 		hostSeconds: time.Since(t0).Seconds(),
 	}
 }
@@ -643,6 +668,7 @@ func (c *Coordinator) commitEpoch(epoch int, img *JobImage) commitResult {
 func (c *Coordinator) applyCommitLocked(histIdx int, res commitResult) {
 	e := &c.history[histIdx]
 	e.CommitHostSeconds = res.hostSeconds
+	e.PeakEncodeBytes = res.peakEncode
 	if res.err != nil {
 		// The failed epoch's cost fields deliberately stay zero (no write
 		// time is charged for an epoch that never sealed); the run itself

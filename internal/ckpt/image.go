@@ -29,17 +29,21 @@ package ckpt
 // Encode always emits v2; DecodeJobImage sniffs the magic and accepts both.
 
 import (
+	"bufio"
 	"bytes"
 	"compress/flate"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"io"
 	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"mana/internal/mpi"
 )
 
 // Image format magics. A corrupted or truncated image must fail loudly at
@@ -78,10 +82,31 @@ type ShardInfo struct {
 	// here.
 	ClockVT float64
 	// RawSum is the FNV-1a checksum of the raw (pre-compression, clock-
-	// zeroed) shard gob — the identity the incremental differ compares
+	// zeroed) shard stream — the identity the incremental differ compares
 	// against the previous epoch.
 	RawSum uint64
+	// RawFormat selects the raw shard stream's layout (store shards only):
+	// RawFormatGob for legacy whole-gob shards, RawFormatChunked for the
+	// bounded-memory header+payload layout the streaming writer emits.
+	// Old manifests decode with the zero value, which is the legacy format.
+	RawFormat int
 }
+
+// Raw shard stream formats (ShardInfo.RawFormat).
+const (
+	// RawFormatGob: one gob(RankImage) message, clock zeroed. gob frames
+	// every Encode as a single length-prefixed message that it buffers IN
+	// FULL on both sides, so this layout costs a whole-shard buffer no
+	// matter how it is transported. Kept for decoding stores written
+	// before the chunked layout.
+	RawFormatGob = 0
+	// RawFormatChunked: a small gob header (the RankImage minus its bulk
+	// payloads, plus their lengths) followed by the payload bytes raw —
+	// App, Proto, then each in-flight message's data, in order. Only the
+	// header passes through gob, so encode buffering is O(header) and
+	// decode allocates nothing beyond the restored state itself.
+	RawFormatChunked = 1
+)
 
 // Manifest versions. Zero-valued Version means v2 (the version field
 // predates nothing: v2 blob manifests never carried one).
@@ -168,6 +193,610 @@ func fanOut(jobs, workers int, fn func(i int)) {
 // encode of small shards (hundreds of ranks x one fresh writer each).
 var flateWriters = sync.Pool{}
 
+// ---------------------------------------------------------- streaming encode
+
+// Streaming shard I/O. The staged pipeline's commit stage used to
+// materialize every rank's raw gob and compressed blob as whole []byte
+// slices, so peak encode memory scaled with the image size — the #1
+// scalability cliff for MANA-scale images (hundreds of MB per rank). The
+// streaming path encodes each shard straight into the store's shard writer
+// through fixed-size buffers. Crucially the raw layout is CHUNKED
+// (RawFormatChunked): gob frames every Encode call as one message that it
+// buffers in full on both sides, so only a small header goes through gob —
+// the bulk payloads (App/Proto/in-flight bytes) are written raw from the
+// already-captured image, and the per-shard transient memory is the
+// encoder's own bounded state:
+//
+//	writeShardRaw: magic + gob(small header) + payload bytes
+//	  → countWriter(raw FNV+size)
+//	  → flate.Writer → countWriter(compressed FNV+size)
+//	  → pooled chunk buffer → Store.PutShardStream
+//
+// Concurrency is bounded in BYTES, not just workers: every open ShardWriter
+// charges shardStreamFootprint against a StreamBudget, so the commit
+// stage's in-flight memory never exceeds the configured budget no matter
+// how many ranks or how large their shards.
+
+// shardChunkBytes is the fixed size of the pooled staging buffer between
+// the compressor and the store writer (gob emits many small writes; batching
+// them keeps FileStore syscall counts sane).
+const shardChunkBytes = 256 << 10
+
+// shardStreamFootprint is the in-flight memory one open ShardWriter is
+// accounted at: the pooled chunk buffer plus a conservative bound on the
+// flate compressor's window/hash state and the gob encoder's scratch. It is
+// an accounting constant, deliberately rounded up — the budget must bound
+// real memory, so over-charging is the safe direction.
+const shardStreamFootprint = shardChunkBytes + 768<<10
+
+// DefaultStreamBudgetBytes is the commit stage's in-flight encode budget
+// when the plan does not set one: room for tens of concurrent shard
+// streams, far above any sane GOMAXPROCS, so the budget only throttles when
+// explicitly tightened.
+const DefaultStreamBudgetBytes = 64 << 20
+
+// StreamBudget bounds the bytes of in-flight streaming-encode state and
+// records the high-water mark (CheckpointStats.PeakEncodeBytes). Acquire
+// blocks until the requested bytes fit; a request larger than the whole
+// budget is clamped so a single stream can always make progress (the bound
+// then degrades to one stream's footprint, never to a deadlock).
+type StreamBudget struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	cap   int64
+	inUse int64
+	peak  int64
+}
+
+// NewStreamBudget creates a budget of capBytes (<=0 selects
+// DefaultStreamBudgetBytes).
+func NewStreamBudget(capBytes int64) *StreamBudget {
+	if capBytes <= 0 {
+		capBytes = DefaultStreamBudgetBytes
+	}
+	b := &StreamBudget{cap: capBytes}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Cap returns the budget's capacity in bytes.
+func (b *StreamBudget) Cap() int64 { return b.cap }
+
+// Acquire blocks until n bytes fit under the budget, then charges them.
+func (b *StreamBudget) Acquire(n int64) {
+	if n > b.cap {
+		n = b.cap // one stream must always fit (see type doc)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.inUse+n > b.cap {
+		b.cond.Wait()
+	}
+	b.inUse += n
+	if b.inUse > b.peak {
+		b.peak = b.inUse
+	}
+}
+
+// Release returns n bytes to the budget.
+func (b *StreamBudget) Release(n int64) {
+	if n > b.cap {
+		n = b.cap
+	}
+	b.mu.Lock()
+	b.inUse -= n
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// TakePeak returns the high-water mark since the last TakePeak and resets
+// it to the current in-use level. Commits are serialized (the coordinator's
+// epoch ticket), so per-epoch peaks read cleanly off a shared budget.
+func (b *StreamBudget) TakePeak() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.peak
+	b.peak = b.inUse
+	return p
+}
+
+// countWriter accumulates an FNV-1a checksum and byte count over everything
+// written through it, forwarding to dst (nil dst discards — the hash-only
+// identity pass).
+type countWriter struct {
+	dst io.Writer
+	h   hash.Hash64
+	n   int64
+}
+
+func newCountWriter(dst io.Writer) *countWriter {
+	return &countWriter{dst: dst, h: fnv.New64a()}
+}
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.h.Write(p)
+	w.n += int64(len(p))
+	if w.dst == nil {
+		return len(p), nil
+	}
+	return w.dst.Write(p)
+}
+
+// chunkWriters pools the fixed-size staging buffers between the compressor
+// and the store writer (see shardChunkBytes).
+var chunkWriters = sync.Pool{}
+
+type chunkWriter struct {
+	dst io.Writer
+	buf []byte
+	n   int
+}
+
+func newChunkWriter(dst io.Writer) *chunkWriter {
+	cw, _ := chunkWriters.Get().(*chunkWriter)
+	if cw == nil {
+		cw = &chunkWriter{buf: make([]byte, shardChunkBytes)}
+	}
+	cw.dst = dst
+	cw.n = 0
+	return cw
+}
+
+func (w *chunkWriter) Write(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 {
+		if w.n == len(w.buf) {
+			if err := w.flush(); err != nil {
+				return 0, err
+			}
+		}
+		c := copy(w.buf[w.n:], p)
+		w.n += c
+		p = p[c:]
+	}
+	return total, nil
+}
+
+func (w *chunkWriter) flush() error {
+	if w.n == 0 {
+		return nil
+	}
+	_, err := w.dst.Write(w.buf[:w.n])
+	w.n = 0
+	return err
+}
+
+// close flushes and recycles the buffer (the writer must not be used after).
+func (w *chunkWriter) close() error {
+	err := w.flush()
+	w.dst = nil
+	chunkWriters.Put(w)
+	return err
+}
+
+// ShardSummary is what a ShardWriter reports at Close: the geometry and
+// checksums the manifest's ShardInfo is stamped from. Sizes and checksums
+// are computed as the bytes flow — the whole point is that no one ever held
+// the shard in memory to measure it.
+type ShardSummary struct {
+	Size     int64  // compressed bytes that reached the store
+	Checksum uint64 // FNV-1a over the compressed stream
+	RawSize  int64  // raw gob bytes before compression
+	RawSum   uint64 // FNV-1a over the raw (clockless) gob
+}
+
+// ShardWriter streams one rank's shard into a store stream: the rank image
+// gob-encodes through the raw identity counter into a pooled flate
+// compressor, whose output is checksummed and chunk-buffered on its way to
+// the store writer. Nothing shard-sized is ever buffered. Close finalizes
+// the compressed stream, closes the store writer, and returns the summary.
+type ShardWriter struct {
+	rank  int
+	dst   io.WriteCloser
+	chunk *chunkWriter
+	comp  *countWriter
+	fw    *flate.Writer
+	raw   *countWriter
+}
+
+// NewShardWriter opens a streaming encoder for one rank's shard over a
+// store stream (typically Store.PutShardStream's writer).
+func NewShardWriter(rank int, dst io.WriteCloser) (*ShardWriter, error) {
+	w := &ShardWriter{rank: rank, dst: dst}
+	w.chunk = newChunkWriter(dst)
+	w.comp = newCountWriter(w.chunk)
+	fw, _ := flateWriters.Get().(*flate.Writer)
+	if fw == nil {
+		var err error
+		if fw, err = flate.NewWriter(w.comp, shardCompression); err != nil {
+			return nil, fmt.Errorf("ckpt: rank %d shard compressor: %w", rank, err)
+		}
+	} else {
+		fw.Reset(w.comp)
+	}
+	w.fw = fw
+	w.raw = newCountWriter(fw)
+	return w, nil
+}
+
+// Encode streams one rank image through the writer in the chunked raw
+// layout. clockless zeroes ClockVT before encoding (the store-epoch
+// identity contract; the clock rides in the manifest instead).
+func (w *ShardWriter) Encode(ri *RankImage, clockless bool) error {
+	return writeShardRaw(w.raw, ri, clockless)
+}
+
+// Close finalizes the compressed stream, flushes the chunk buffer, closes
+// the store writer, and reports the shard's geometry and checksums.
+func (w *ShardWriter) Close() (ShardSummary, error) {
+	var firstErr error
+	if err := w.fw.Close(); err != nil {
+		firstErr = fmt.Errorf("ckpt: compressing rank %d shard: %w", w.rank, err)
+	} else {
+		flateWriters.Put(w.fw)
+	}
+	if err := w.chunk.close(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("ckpt: writing rank %d shard: %w", w.rank, err)
+	}
+	if err := w.dst.Close(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("ckpt: sealing rank %d shard stream: %w", w.rank, err)
+	}
+	return ShardSummary{
+		Size:     w.comp.n,
+		Checksum: w.comp.h.Sum64(),
+		RawSize:  w.raw.n,
+		RawSum:   w.raw.h.Sum64(),
+	}, firstErr
+}
+
+// shardRawHeader is the chunked raw layout's structured prefix: everything
+// in a RankImage except the bulk payloads, whose lengths ride here and
+// whose bytes follow raw (App, Proto, then each in-flight message's data,
+// in manifest order). Inflight entries carry their metadata with Data
+// nil'd. Only this header passes through gob — it is the piece that stays
+// small no matter how big the rank's state is.
+type shardRawHeader struct {
+	Rank         int
+	Desc         Descriptor
+	ClockVT      float64
+	AppLen       int64
+	ProtoLen     int64
+	Inflight     []mpi.InflightSnapshot
+	InflightLens []int64
+}
+
+// shardRawMagic heads the chunked raw stream so a decoder pointed at it
+// with the wrong format fails loudly instead of gob-misparsing.
+var shardRawMagic = []byte("MANASHD1")
+
+// writeShardRaw streams one rank image in the chunked raw layout. clockless
+// zeroes ClockVT (the store-epoch identity contract). Payload slices are
+// written straight from the captured image — no copies, no gob buffering
+// beyond the small header message.
+func writeShardRaw(w io.Writer, ri *RankImage, clockless bool) error {
+	hdr := shardRawHeader{
+		Rank:     ri.Rank,
+		Desc:     ri.Desc,
+		ClockVT:  ri.ClockVT,
+		AppLen:   int64(len(ri.App)),
+		ProtoLen: int64(len(ri.Proto)),
+	}
+	if clockless {
+		hdr.ClockVT = 0
+	}
+	if n := len(ri.Inflight); n > 0 {
+		hdr.Inflight = make([]mpi.InflightSnapshot, n)
+		hdr.InflightLens = make([]int64, n)
+		for i, m := range ri.Inflight {
+			hdr.InflightLens[i] = int64(len(m.Data))
+			m.Data = nil
+			hdr.Inflight[i] = m
+		}
+	}
+	if _, err := w.Write(shardRawMagic); err != nil {
+		return fmt.Errorf("ckpt: writing rank %d shard: %w", ri.Rank, err)
+	}
+	if err := gob.NewEncoder(w).Encode(&hdr); err != nil {
+		return fmt.Errorf("ckpt: encoding rank %d shard header: %w", ri.Rank, err)
+	}
+	for _, payload := range [][]byte{ri.App, ri.Proto} {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("ckpt: writing rank %d shard: %w", ri.Rank, err)
+		}
+	}
+	for _, m := range ri.Inflight {
+		if _, err := w.Write(m.Data); err != nil {
+			return fmt.Errorf("ckpt: writing rank %d shard: %w", ri.Rank, err)
+		}
+	}
+	return nil
+}
+
+// readShardRaw reverses writeShardRaw. rawSize is the manifest's declared
+// total raw length; the header travels through a framing-capped gob reader
+// and its payload lengths are validated against rawSize — each bounded
+// individually BEFORE summing, so neither a corrupted header nor an int64
+// overflow of the sum can drive a multi-gigabyte allocation. src must be a
+// *bufio.Reader (a gob decoder over a plain reader would buffer past the
+// header and strand payload bytes in its internal reader).
+func readShardRaw(src *bufio.Reader, rawSize int64) (*RankImage, error) {
+	magic := make([]byte, len(shardRawMagic))
+	if _, err := io.ReadFull(src, magic); err != nil {
+		return nil, fmt.Errorf("reading shard header: %w", err)
+	}
+	if !bytes.Equal(magic, shardRawMagic) {
+		return nil, fmt.Errorf("shard raw stream has bad magic %q", magic)
+	}
+	var hdr shardRawHeader
+	if err := gob.NewDecoder(newCappedMessageReader(src, rawSize)).Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("decoding shard header: %w", err)
+	}
+	if len(hdr.InflightLens) != len(hdr.Inflight) {
+		return nil, fmt.Errorf("shard header declares negative or mismatched payloads")
+	}
+	// Budget the declared payloads against rawSize by SUBTRACTION — a
+	// running remainder cannot overflow the way a running sum of
+	// attacker-chosen int64 terms can.
+	remaining := rawSize
+	debit := func(l int64) error {
+		if l < 0 || l > remaining {
+			return fmt.Errorf("shard header declares payloads beyond the manifest's %d raw bytes", rawSize)
+		}
+		remaining -= l
+		return nil
+	}
+	if err := debit(hdr.AppLen); err != nil {
+		return nil, err
+	}
+	if err := debit(hdr.ProtoLen); err != nil {
+		return nil, err
+	}
+	for _, l := range hdr.InflightLens {
+		if err := debit(l); err != nil {
+			return nil, err
+		}
+	}
+	ri := &RankImage{
+		Rank:     hdr.Rank,
+		Desc:     hdr.Desc,
+		ClockVT:  hdr.ClockVT,
+		Inflight: hdr.Inflight,
+	}
+	readPayload := func(n int64) ([]byte, error) {
+		if n == 0 {
+			return nil, nil
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(src, buf); err != nil {
+			return nil, fmt.Errorf("reading shard payload: %w", err)
+		}
+		return buf, nil
+	}
+	var err error
+	if ri.App, err = readPayload(hdr.AppLen); err != nil {
+		return nil, err
+	}
+	if ri.Proto, err = readPayload(hdr.ProtoLen); err != nil {
+		return nil, err
+	}
+	for i := range ri.Inflight {
+		if ri.Inflight[i].Data, err = readPayload(hdr.InflightLens[i]); err != nil {
+			return nil, err
+		}
+	}
+	return ri, nil
+}
+
+// cappedMessageReader enforces a per-message length cap on gob's framing.
+// gob allocates each message's buffer from the UNTRUSTED length prefix
+// before reading a single body byte, and decodeShardStream necessarily
+// feeds it bytes whose checksum has not been verified yet — without a cap,
+// one corrupted prefix could demand a multi-gigabyte allocation (gob's own
+// ceiling is 8 GB). This reader parses every prefix in full before handing
+// any of it to gob and fails the read when the declared length exceeds the
+// cap; the failure then surfaces as corruption once the checksum check
+// runs. It never reads ahead of what it serves, so the caller can keep
+// reading the underlying stream exactly where gob stopped.
+//
+// (The framing parsed here is gob's wire format for unsigned counts: one
+// byte holding either the value itself (<= 0x7f) or the negated count of
+// big-endian length bytes that follow.)
+type cappedMessageReader struct {
+	br       *bufio.Reader
+	cap      int64
+	stash    [9]byte // a parsed, not-yet-served message prefix
+	stashLen int
+	stashPos int
+	body     int64 // unserved bytes of the current message body
+	err      error
+}
+
+func newCappedMessageReader(br *bufio.Reader, cap int64) *cappedMessageReader {
+	return &cappedMessageReader{br: br, cap: cap}
+}
+
+// fillPrefix reads and validates one whole message-length prefix.
+func (r *cappedMessageReader) fillPrefix() error {
+	b0, err := r.br.ReadByte()
+	if err != nil {
+		r.err = err
+		return err
+	}
+	r.stash[0], r.stashLen, r.stashPos = b0, 1, 0
+	var n int64
+	if b0 <= 0x7f {
+		n = int64(b0)
+	} else {
+		w := -int(int8(b0))
+		if w <= 0 || w > 8 {
+			r.err = fmt.Errorf("gob message prefix byte %#x invalid", b0)
+			return r.err
+		}
+		if _, err := io.ReadFull(r.br, r.stash[1:1+w]); err != nil {
+			r.err = err
+			return r.err
+		}
+		r.stashLen = 1 + w
+		for _, b := range r.stash[1 : 1+w] {
+			if n > (1<<55)-1 { // next shift would overflow toward a false pass
+				n = -1
+				break
+			}
+			n = n<<8 | int64(b)
+		}
+	}
+	if n < 0 || n > r.cap {
+		r.err = fmt.Errorf("gob message of %d bytes exceeds the %d-byte shard bound", n, r.cap)
+		return r.err
+	}
+	r.body = n
+	return nil
+}
+
+func (r *cappedMessageReader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if r.stashPos == r.stashLen && r.body == 0 {
+		if err := r.fillPrefix(); err != nil {
+			return 0, err
+		}
+	}
+	if r.stashPos < r.stashLen {
+		c := copy(p, r.stash[r.stashPos:r.stashLen])
+		r.stashPos += c
+		return c, nil
+	}
+	if int64(len(p)) > r.body {
+		p = p[:r.body]
+	}
+	c, err := r.br.Read(p)
+	r.body -= int64(c)
+	return c, err
+}
+
+// ReadByte makes the reader an io.ByteReader so gob uses it directly
+// instead of wrapping it in a read-ahead bufio that would strand bytes.
+func (r *cappedMessageReader) ReadByte() (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// hashShardClockless computes a rank image's clockless raw-stream identity
+// (RawSum, RawSize) by streaming the chunked layout through a counter —
+// the byte-free replacement for materializing the raw stream just to hash
+// it. The stream is byte-identical to what ShardWriter.Encode later feeds
+// the compressor, so the identities agree.
+func hashShardClockless(ri *RankImage) (sum uint64, size int64, err error) {
+	cw := newCountWriter(nil)
+	if err := writeShardRaw(cw, ri, true); err != nil {
+		return 0, 0, err
+	}
+	return cw.h.Sum64(), cw.n, nil
+}
+
+// countReader accumulates an FNV-1a checksum and byte count over everything
+// read through it.
+type countReader struct {
+	src io.Reader
+	h   hash.Hash64
+	n   int64
+}
+
+func newCountReader(src io.Reader) *countReader {
+	return &countReader{src: src, h: fnv.New64a()}
+}
+
+func (r *countReader) Read(p []byte) (int, error) {
+	n, err := r.src.Read(p)
+	r.h.Write(p[:n])
+	r.n += int64(n)
+	return n, err
+}
+
+// tallyReader counts decompressed bytes (no hashing).
+type tallyReader struct {
+	src io.Reader
+	n   int64
+}
+
+func (r *tallyReader) Read(p []byte) (int, error) {
+	n, err := r.src.Read(p)
+	r.n += int64(n)
+	return n, err
+}
+
+// decodeShardStream decodes one shard from a store stream without ever
+// materializing the compressed blob or the raw stream: the compressed
+// bytes are checksummed as they are read, decompression feeds the raw
+// decoder directly, and the raw byte count is tallied on the way through.
+// rawFormat selects the raw layout (ShardInfo.RawFormat); the chunked
+// layout allocates nothing beyond the restored state itself, while the
+// legacy gob layout necessarily buffers one whole message. The whole
+// object is always drained so the checksum covers every stored byte —
+// trailing garbage after the compressed stream is corruption, exactly as
+// it was when the blob was checksummed at rest.
+//
+// A checksum mismatch wins over any decode error: corrupted bytes produce
+// arbitrary flate/gob failures, and attributing them as corruption (not as
+// a format bug) is what the torn-write diagnostics rely on.
+func decodeShardStream(src io.Reader, rawSize int64, wantSum uint64, rawFormat int) (*RankImage, error) {
+	if rawSize < 0 {
+		return nil, fmt.Errorf("negative raw size %d", rawSize)
+	}
+	cr := newCountReader(src)
+	fr := flate.NewReader(cr)
+	defer fr.Close()
+	tr := &tallyReader{src: fr}
+
+	var ri *RankImage
+	var decErr error
+	switch rawFormat {
+	case RawFormatChunked:
+		// The bufio layer reads ahead of the header's gob decoder but stays
+		// on this side of the tally, so the final drained count is exact.
+		br := bufio.NewReader(tr)
+		ri, decErr = readShardRaw(br, rawSize)
+	case RawFormatGob:
+		// Legacy whole-gob shards decode pre-checksum too, so their message
+		// lengths are bounded the same way (rawSize, from the validated
+		// manifest) — a bit-rotted flate stream cannot demand gob's 8 GB.
+		ri = &RankImage{}
+		decErr = gob.NewDecoder(newCappedMessageReader(bufio.NewReader(tr), rawSize)).Decode(ri)
+		if decErr != nil {
+			decErr = fmt.Errorf("decoding: %w", decErr)
+		}
+	default:
+		decErr = fmt.Errorf("unsupported raw shard format %d", rawFormat)
+	}
+	if decErr == nil {
+		if _, err := io.Copy(io.Discard, tr); err != nil {
+			decErr = fmt.Errorf("decompressing: %w", err)
+		}
+	}
+	// Drain the remaining stored bytes (flate stops at its final block) so
+	// the checksum is over the whole shard object.
+	if _, err := io.Copy(io.Discard, cr); err != nil && decErr == nil {
+		decErr = fmt.Errorf("reading shard: %w", err)
+	}
+	if got := cr.h.Sum64(); got != wantSum {
+		return nil, fmt.Errorf("shard corrupted (checksum %x, want %x)", got, wantSum)
+	}
+	if decErr != nil {
+		return nil, decErr
+	}
+	if tr.n != rawSize {
+		return nil, fmt.Errorf("raw size mismatch: decompressed %d bytes, manifest says %d", tr.n, rawSize)
+	}
+	return ri, nil
+}
+
 // compressShard flate-compresses one rank's raw shard gob, recycling
 // writers through flateWriters.
 func compressShard(rank int, raw []byte) ([]byte, error) {
@@ -238,23 +867,6 @@ func decodeShard(blob []byte, rawSize int64) (*RankImage, error) {
 		return nil, fmt.Errorf("decoding: %w", err)
 	}
 	return &ri, nil
-}
-
-// encodeShardRawClockless gob-encodes one rank image for a store epoch with
-// ClockVT zeroed (the clock travels in the manifest's ShardInfo instead),
-// so a rank whose state did not change between captures produces
-// byte-identical raw gobs — the identity the incremental differ keys on.
-// Compression is deliberately NOT performed here: the differ decides from
-// the raw hash whether the shard is reused, and only fresh shards are worth
-// compressing (on a low-churn job most shards are not).
-func encodeShardRawClockless(ri *RankImage) (raw []byte, rawSum uint64, err error) {
-	clockless := *ri
-	clockless.ClockVT = 0
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&clockless); err != nil {
-		return nil, 0, fmt.Errorf("ckpt: encoding rank %d shard: %w", ri.Rank, err)
-	}
-	return buf.Bytes(), checksumOf(buf.Bytes()), nil
 }
 
 func checksumOf(b []byte) uint64 {
@@ -434,6 +1046,9 @@ func (man *Manifest) validate(shardDataLen int64) error {
 		if man.Version >= ManifestV3 && (si.RefEpoch < 0 || si.RefEpoch > man.Epoch) {
 			return fmt.Errorf("ckpt: rank %d shard references epoch %d from epoch %d",
 				si.Rank, si.RefEpoch, man.Epoch)
+		}
+		if si.RawFormat < RawFormatGob || si.RawFormat > RawFormatChunked {
+			return fmt.Errorf("ckpt: rank %d shard declares unknown raw format %d", si.Rank, si.RawFormat)
 		}
 	}
 	return nil

@@ -7,9 +7,12 @@ package ckpt
 
 import (
 	"bytes"
+	"encoding/gob"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"mana/internal/mpi"
 	"mana/internal/netmodel"
@@ -280,4 +283,266 @@ func TestCaptureSerialParallelEquivalent(t *testing.T) {
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Fatalf("serial and parallel captures differ:\nserial:   %+v\nparallel: %+v", serial, parallel)
 	}
+}
+
+// memSink is a minimal WriteCloser capturing a shard stream.
+type memSink struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (s *memSink) Close() error { s.closed = true; return nil }
+
+// TestShardWriterStreamsIdentically: the streaming encoder's summary must
+// agree byte-for-byte with what actually reached the sink, its raw identity
+// must match the hash-only pass that keys the incremental differ, and the
+// chunked stream must round-trip the rank image exactly (clock zeroed).
+func TestShardWriterStreamsIdentically(t *testing.T) {
+	ji := testJobImage(5)
+	for r := range ji.Images {
+		ri := &ji.Images[r]
+
+		sink := &memSink{}
+		sw, err := NewShardWriter(ri.Rank, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Encode(ri, true); err != nil {
+			t.Fatal(err)
+		}
+		sum, err := sw.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sink.closed {
+			t.Fatal("shard writer did not close its store stream")
+		}
+		blob := sink.Bytes()
+		if int64(len(blob)) != sum.Size || checksumOf(blob) != sum.Checksum {
+			t.Fatalf("rank %d: summary %+v disagrees with the %d streamed bytes", r, sum, len(blob))
+		}
+
+		wantSum, wantSize, err := hashShardClockless(ri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.RawSum != wantSum || sum.RawSize != wantSize {
+			t.Fatalf("rank %d: streamed raw identity (%x, %d) != hashed (%x, %d)",
+				r, sum.RawSum, sum.RawSize, wantSum, wantSize)
+		}
+
+		got, err := decodeShardStream(bytes.NewReader(blob), sum.RawSize, sum.Checksum, RawFormatChunked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := *ri
+		want.ClockVT = 0
+		if got.Rank != want.Rank || got.ClockVT != 0 ||
+			!bytes.Equal(got.App, want.App) || !bytes.Equal(got.Proto, want.Proto) ||
+			!reflect.DeepEqual(got.Desc, want.Desc) || len(got.Inflight) != len(want.Inflight) {
+			t.Fatalf("rank %d stream decode mismatch:\ngot  %+v\nwant %+v", r, got, &want)
+		}
+		for i := range want.Inflight {
+			if !reflect.DeepEqual(got.Inflight[i], want.Inflight[i]) {
+				t.Fatalf("rank %d in-flight %d mismatch: %+v vs %+v", r, i, got.Inflight[i], want.Inflight[i])
+			}
+		}
+	}
+}
+
+// TestLegacyGobShardsStillDecode: stores written before the chunked layout
+// hold whole-gob raw streams; the streaming decoder must keep reading them
+// through RawFormatGob.
+func TestLegacyGobShardsStillDecode(t *testing.T) {
+	ri := &testJobImage(3).Images[0]
+	clockless := *ri
+	clockless.ClockVT = 0
+	blob, rawSize, err := encodeShard(&clockless) // the legacy gob+flate encoder
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeShardStream(bytes.NewReader(blob), rawSize, checksumOf(blob), RawFormatGob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rank != ri.Rank || !bytes.Equal(got.App, ri.App) {
+		t.Fatalf("legacy decode mismatch: %+v", got)
+	}
+	// The formats must not alias: chunked bytes under the gob format (and
+	// vice versa) fail as decode errors, not silent misreads.
+	if _, err := decodeShardStream(bytes.NewReader(blob), rawSize, checksumOf(blob), RawFormatChunked); err == nil {
+		t.Fatal("gob bytes decoded under the chunked format")
+	}
+	if _, err := decodeShardStream(bytes.NewReader(blob), rawSize, checksumOf(blob), RawFormatChunked+1); err == nil ||
+		!strings.Contains(err.Error(), "unsupported raw shard format") {
+		t.Fatalf("unknown format not rejected: %v", err)
+	}
+}
+
+// TestChunkedHeaderStaysSmall: the whole point of the chunked layout is
+// that only the header passes through gob — the raw stream's overhead over
+// the payload bytes must stay constant-ish as the state grows, or encode
+// memory is secretly scaling with the shard again.
+func TestChunkedHeaderStaysSmall(t *testing.T) {
+	ri := &RankImage{Rank: 0, App: make([]byte, 8<<20), Proto: []byte{1, 2}}
+	_, rawSize, err := hashShardClockless(ri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := int64(len(ri.App) + len(ri.Proto))
+	if overhead := rawSize - payload; overhead <= 0 || overhead > 4096 {
+		t.Fatalf("chunked overhead %d bytes over %d payload (want small and positive)", overhead, payload)
+	}
+}
+
+// TestDecodeShardStreamRejects: the streaming decoder must attribute a
+// flipped bit, a truncation, trailing garbage, and a lying raw size.
+func TestDecodeShardStreamRejects(t *testing.T) {
+	ri := &testJobImage(3).Images[1]
+	sink := &memSink{}
+	sw, err := NewShardWriter(ri.Rank, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Encode(ri, true); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sw.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := sink.Bytes()
+
+	cases := map[string]struct {
+		mutate  func([]byte) []byte
+		rawSize int64
+		want    string
+	}{
+		"bit-flip":  {func(b []byte) []byte { b[len(b)/2] ^= 1; return b }, sum.RawSize, "corrupted"},
+		"truncated": {func(b []byte) []byte { return b[:len(b)/2] }, sum.RawSize, "corrupted"},
+		"trailing":  {func(b []byte) []byte { return append(b, 0xEE) }, sum.RawSize, "corrupted"},
+		"raw-size":  {func(b []byte) []byte { return b }, sum.RawSize + 1, "raw size mismatch"},
+		"neg-size":  {func(b []byte) []byte { return b }, -1, "negative raw size"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), blob...))
+			_, err := decodeShardStream(bytes.NewReader(b), tc.rawSize, sum.Checksum, RawFormatChunked)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestStreamBudgetAccounting: acquire blocks at capacity, oversized
+// requests clamp instead of deadlocking, and TakePeak reports per-window
+// high-water marks.
+func TestStreamBudgetAccounting(t *testing.T) {
+	b := NewStreamBudget(100)
+	if b.Cap() != 100 {
+		t.Fatalf("cap %d", b.Cap())
+	}
+	b.Acquire(60)
+	b.Acquire(40) // exactly full
+	released := make(chan struct{})
+	go func() {
+		b.Acquire(10) // must block until something frees
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("acquire over capacity did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Release(60)
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("acquire did not wake on release")
+	}
+	if p := b.TakePeak(); p != 100 {
+		t.Fatalf("peak %d, want 100", p)
+	}
+	b.Release(40)
+	b.Release(10)
+	if p := b.TakePeak(); p != 50 {
+		// After the reset the window's high-water was the in-use level at
+		// reset time (50: the 40 + the unblocked 10).
+		t.Fatalf("second-window peak %d, want 50", p)
+	}
+
+	// A request larger than the whole budget clamps (single streams must
+	// always make progress) rather than deadlocking.
+	b.Acquire(1000)
+	if p := b.TakePeak(); p != 100 {
+		t.Fatalf("clamped acquire peaked at %d, want 100", p)
+	}
+	b.Release(1000)
+
+	// Default capacity kicks in for zero.
+	if NewStreamBudget(0).Cap() != DefaultStreamBudgetBytes {
+		t.Fatal("zero capacity did not select the default")
+	}
+}
+
+// TestHostileShardHeadersErrorCleanly: the streaming decoder parses header
+// bytes BEFORE the checksum is verified, so hostile or bit-rotted framing
+// must fail with a diagnostic — never a huge allocation or a panic.
+func TestHostileShardHeadersErrorCleanly(t *testing.T) {
+	compress := func(raw []byte) []byte {
+		blob, err := compressShard(0, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+
+	t.Run("overflowing-payload-lengths", func(t *testing.T) {
+		// A chunked header whose payload lengths sum past int64: each term
+		// must be budgeted individually, not summed into an overflow.
+		var raw bytes.Buffer
+		raw.Write(shardRawMagic)
+		hdr := shardRawHeader{Rank: 0, AppLen: 1 << 62, ProtoLen: 1 << 62,
+			InflightLens: []int64{1 << 62, 1 << 62}, Inflight: make([]mpi.InflightSnapshot, 2)}
+		if err := gob.NewEncoder(&raw).Encode(&hdr); err != nil {
+			t.Fatal(err)
+		}
+		blob := compress(raw.Bytes())
+		_, err := decodeShardStream(bytes.NewReader(blob), int64(raw.Len()), checksumOf(blob), RawFormatChunked)
+		if err == nil || !strings.Contains(err.Error(), "payloads beyond") {
+			t.Fatalf("overflowing header not rejected: %v", err)
+		}
+	})
+
+	t.Run("absurd-gob-message-length", func(t *testing.T) {
+		// A raw stream whose gob framing declares a multi-gigabyte message:
+		// the capped reader must refuse before gob allocates it.
+		raw := []byte{0xF8, 0x7F, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF} // -8 ext bytes: ~2^63
+		blob := compress(raw)
+		_, err := decodeShardStream(bytes.NewReader(blob), int64(len(raw)), checksumOf(blob), RawFormatGob)
+		if err == nil || !strings.Contains(err.Error(), "exceeds") {
+			t.Fatalf("absurd gob message length not rejected: %v", err)
+		}
+	})
+
+	t.Run("legacy-bit-rot-reports-corruption", func(t *testing.T) {
+		// Flipping one stored bit of a legacy shard must come back as the
+		// checksum diagnostic (allocation-bounded on the way), as it did
+		// when the blob was checksummed before decode.
+		ri := &testJobImage(3).Images[0]
+		clockless := *ri
+		clockless.ClockVT = 0
+		blob, rawSize, err := encodeShard(&clockless)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := checksumOf(blob)
+		mut := append([]byte(nil), blob...)
+		mut[len(mut)/3] ^= 0x10
+		_, err = decodeShardStream(bytes.NewReader(mut), rawSize, want, RawFormatGob)
+		if err == nil || !strings.Contains(err.Error(), "corrupted") {
+			t.Fatalf("bit rot not reported as corruption: %v", err)
+		}
+	})
 }

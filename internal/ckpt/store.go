@@ -22,7 +22,9 @@ package ckpt
 //     overlap (asynchronous ones).
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -31,12 +33,24 @@ import (
 	"mana/internal/netmodel"
 )
 
-// Store is the commit target of the checkpoint pipeline: a keyed blob space
-// for shard objects plus a sealed manifest per epoch.
+// Store is the commit target of the checkpoint pipeline: a keyed object
+// space for shard objects plus a sealed manifest per epoch. Shard objects
+// are STREAMED: the encoder writes through PutShardStream and restart reads
+// through OpenShard, so neither side ever needs a whole-shard []byte. The
+// blob methods (PutShard/GetShard) remain as thin adapters over the streams
+// for tools and tests that already hold the bytes.
 type Store interface {
-	// PutShard stores one rank's compressed shard blob under (epoch, rank).
+	// PutShardStream opens a streaming writer for one rank's shard object
+	// under (epoch, rank). The object becomes readable once the writer is
+	// closed; an abandoned (never-closed) stream in an unsealed epoch is an
+	// aborted commit, invisible behind the manifest-sealed-last contract.
+	PutShardStream(epoch, rank int) (io.WriteCloser, error)
+	// OpenShard opens a streaming reader over a shard object's stored bytes.
+	OpenShard(epoch, rank int) (io.ReadCloser, error)
+	// PutShard stores one rank's compressed shard blob under (epoch, rank) —
+	// an adapter over PutShardStream.
 	PutShard(epoch, rank int, blob []byte) error
-	// GetShard retrieves a blob written by PutShard.
+	// GetShard retrieves a whole shard object — an adapter over OpenShard.
 	GetShard(epoch, rank int) ([]byte, error)
 	// PutManifest seals an epoch; a Store reports an epoch from Epochs only
 	// once its manifest is committed.
@@ -45,6 +59,37 @@ type Store interface {
 	GetManifest(epoch int) (*Manifest, error)
 	// Epochs lists sealed epochs in ascending order.
 	Epochs() ([]int, error)
+}
+
+// putShardBlob adapts a blob write onto a store's streaming API.
+func putShardBlob(s Store, epoch, rank int, blob []byte) error {
+	w, err := s.PutShardStream(epoch, rank)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(blob); err != nil {
+		w.Close()
+		return fmt.Errorf("ckpt: writing epoch %d rank %d shard: %w", epoch, rank, err)
+	}
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("ckpt: writing epoch %d rank %d shard: %w", epoch, rank, err)
+	}
+	return nil
+}
+
+// getShardBlob adapts a whole-object read onto a store's streaming API. The
+// returned slice is private to the caller.
+func getShardBlob(s Store, epoch, rank int) ([]byte, error) {
+	rc, err := s.OpenShard(epoch, rank)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	blob, err := io.ReadAll(rc)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: reading epoch %d rank %d shard: %w", epoch, rank, err)
+	}
+	return blob, nil
 }
 
 // ---------------------------------------------------------------- MemStore
@@ -61,25 +106,57 @@ func NewMemStore() *MemStore {
 	return &MemStore{shards: make(map[[2]int][]byte), mans: make(map[int][]byte)}
 }
 
-// PutShard implements Store.
-func (s *MemStore) PutShard(epoch, rank int, blob []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.shards[[2]int{epoch, rank}] = append([]byte(nil), blob...)
+// memShardWriter accumulates a shard stream and installs it at Close.
+type memShardWriter struct {
+	s           *MemStore
+	epoch, rank int
+	buf         bytes.Buffer
+	closed      bool
+}
+
+func (w *memShardWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+
+func (w *memShardWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.s.mu.Lock()
+	w.s.shards[[2]int{w.epoch, w.rank}] = w.buf.Bytes()
+	w.s.mu.Unlock()
 	return nil
+}
+
+// PutShardStream implements Store: bytes accumulate privately and become
+// visible atomically at Close.
+func (s *MemStore) PutShardStream(epoch, rank int) (io.WriteCloser, error) {
+	return &memShardWriter{s: s, epoch: epoch, rank: rank}, nil
+}
+
+// OpenShard implements Store. The stored slice is immutable once installed
+// (writers hand over their private buffer; blob puts copy), so the reader
+// serves it directly.
+func (s *MemStore) OpenShard(epoch, rank int) (io.ReadCloser, error) {
+	s.mu.Lock()
+	blob, ok := s.shards[[2]int{epoch, rank}]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("ckpt: store has no shard for epoch %d rank %d", epoch, rank)
+	}
+	return io.NopCloser(bytes.NewReader(blob)), nil
+}
+
+// PutShard implements Store. The stream writer's private buffer is the
+// copy, so later mutation of blob cannot reach the stored object.
+func (s *MemStore) PutShard(epoch, rank int, blob []byte) error {
+	return putShardBlob(s, epoch, rank, blob)
 }
 
 // GetShard implements Store. The blob is copied out: callers may mutate
 // what they get back (corruption probes do) without corrupting the stored
 // shard that later epochs reference.
 func (s *MemStore) GetShard(epoch, rank int) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	blob, ok := s.shards[[2]int{epoch, rank}]
-	if !ok {
-		return nil, fmt.Errorf("ckpt: store has no shard for epoch %d rank %d", epoch, rank)
-	}
-	return append([]byte(nil), blob...), nil
+	return getShardBlob(s, epoch, rank)
 }
 
 // PutManifest implements Store.
@@ -153,24 +230,38 @@ func (s *FileStore) ManifestPath(epoch int) string {
 	return filepath.Join(s.EpochDir(epoch), "manifest.ckpt")
 }
 
+// PutShardStream implements Store: the shard streams straight into its
+// file. A crash mid-stream leaves a torn file, but only inside an unsealed
+// epoch — the manifest-sealed-last contract keeps it invisible, and
+// VerifyStore attributes a post-seal truncation to the exact (epoch, rank).
+func (s *FileStore) PutShardStream(epoch, rank int) (io.WriteCloser, error) {
+	if err := os.MkdirAll(s.EpochDir(epoch), 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: creating epoch %d dir: %w", epoch, err)
+	}
+	f, err := os.Create(s.ShardPath(epoch, rank))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: creating epoch %d rank %d shard: %w", epoch, rank, err)
+	}
+	return f, nil
+}
+
+// OpenShard implements Store.
+func (s *FileStore) OpenShard(epoch, rank int) (io.ReadCloser, error) {
+	f, err := os.Open(s.ShardPath(epoch, rank))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: reading epoch %d rank %d shard: %w", epoch, rank, err)
+	}
+	return f, nil
+}
+
 // PutShard implements Store.
 func (s *FileStore) PutShard(epoch, rank int, blob []byte) error {
-	if err := os.MkdirAll(s.EpochDir(epoch), 0o755); err != nil {
-		return fmt.Errorf("ckpt: creating epoch %d dir: %w", epoch, err)
-	}
-	if err := os.WriteFile(s.ShardPath(epoch, rank), blob, 0o644); err != nil {
-		return fmt.Errorf("ckpt: writing epoch %d rank %d shard: %w", epoch, rank, err)
-	}
-	return nil
+	return putShardBlob(s, epoch, rank, blob)
 }
 
 // GetShard implements Store.
 func (s *FileStore) GetShard(epoch, rank int) ([]byte, error) {
-	blob, err := os.ReadFile(s.ShardPath(epoch, rank))
-	if err != nil {
-		return nil, fmt.Errorf("ckpt: reading epoch %d rank %d shard: %w", epoch, rank, err)
-	}
-	return blob, nil
+	return getShardBlob(s, epoch, rank)
 }
 
 // PutManifest implements Store. The seal must be atomic — Epochs() treats
@@ -288,19 +379,58 @@ func NewModelStore(inner Store, model *netmodel.Model, nodes int) *ModelStore {
 	}
 }
 
-// PutShard implements Store, metering the write.
-func (s *ModelStore) PutShard(epoch, rank int, blob []byte) error {
-	if err := s.Inner.PutShard(epoch, rank, blob); err != nil {
+// meteredShardWriter counts the bytes of one shard stream and charges them
+// (or the padded size) to the ModelStore's pending epoch at Close — the
+// stream equivalent of metering a blob put, with the charge landing only
+// once the object is durably installed.
+type meteredShardWriter struct {
+	s      *ModelStore
+	inner  io.WriteCloser
+	n      int64
+	closed bool
+}
+
+func (w *meteredShardWriter) Write(p []byte) (int, error) {
+	n, err := w.inner.Write(p)
+	w.n += int64(n)
+	return n, err
+}
+
+func (w *meteredShardWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.inner.Close(); err != nil {
 		return err
 	}
-	charged := int64(len(blob))
-	if s.PadShardBytes > 0 {
-		charged = s.PadShardBytes
+	charged := w.n
+	if w.s.PadShardBytes > 0 {
+		charged = w.s.PadShardBytes
 	}
-	s.mu.Lock()
-	s.pending += charged
-	s.mu.Unlock()
+	w.s.mu.Lock()
+	w.s.pending += charged
+	w.s.mu.Unlock()
 	return nil
+}
+
+// PutShardStream implements Store, metering the stream as it closes.
+func (s *ModelStore) PutShardStream(epoch, rank int) (io.WriteCloser, error) {
+	w, err := s.Inner.PutShardStream(epoch, rank)
+	if err != nil {
+		return nil, err
+	}
+	return &meteredShardWriter{s: s, inner: w}, nil
+}
+
+// OpenShard implements Store.
+func (s *ModelStore) OpenShard(epoch, rank int) (io.ReadCloser, error) {
+	return s.Inner.OpenShard(epoch, rank)
+}
+
+// PutShard implements Store, metering the write.
+func (s *ModelStore) PutShard(epoch, rank int, blob []byte) error {
+	return putShardBlob(s, epoch, rank, blob)
 }
 
 // GetShard implements Store.
@@ -375,10 +505,10 @@ type CommitStats struct {
 }
 
 // CommitCapture runs stages 2–3 of the checkpoint pipeline for one captured
-// job image: encode every rank's shard (fanned out across GOMAXPROCS
-// workers), diff against the parent manifest, write the fresh shards, and
-// seal the epoch's manifest. parent is the previously committed manifest
-// (nil for the chain's first epoch, or when incremental reuse is disabled).
+// job image: hash every rank's shard identity, diff against the parent
+// manifest, stream the fresh shards into the store, and seal the epoch's
+// manifest. parent is the previously committed manifest (nil for the
+// chain's first epoch, or when incremental reuse is disabled).
 //
 // A shard is reused when its clockless raw gob hashes identically (RawSum,
 // RawSize) to the parent epoch's entry for the same rank; the manifest then
@@ -386,46 +516,52 @@ type CommitStats struct {
 // (reference chains are collapsed: RefEpoch is copied from the parent
 // entry, never left pointing at an intermediate reference).
 func CommitCapture(store Store, epoch int, parent *Manifest, img *JobImage) (*Manifest, *CommitStats, error) {
-	enc, err := EncodeCapture(img)
+	sums, err := HashCapture(img)
 	if err != nil {
 		return nil, nil, err
 	}
-	return CommitEncoded(store, epoch, parent, img, enc)
+	return CommitStreamed(store, epoch, parent, img, sums, nil)
 }
 
-// EncodedCapture holds stage 2a's output: every rank's clockless raw shard
-// gob and its content hash. It depends only on the image — not on the
-// parent manifest — so the coordinator computes it BEFORE taking the
-// epoch-ordering ticket, letting concurrent background commits encode in
+// ShardSums holds stage 2a's output: every rank's clockless shard identity
+// (raw gob size and FNV-1a hash), computed by streaming each gob through a
+// counter — no raw bytes are retained. It depends only on the image — not
+// on the parent manifest — so the coordinator computes it BEFORE taking the
+// epoch-ordering ticket, letting concurrent background commits hash in
 // parallel instead of queueing their CPU work behind the previous epoch.
-type EncodedCapture struct {
-	Raws [][]byte
-	Sums []uint64
+type ShardSums struct {
+	Sums  []uint64
+	Sizes []int64
 }
 
-// EncodeCapture gob-encodes every rank's clockless shard across GOMAXPROCS
-// workers.
-func EncodeCapture(img *JobImage) (*EncodedCapture, error) {
+// HashCapture hashes every rank's clockless shard identity across
+// GOMAXPROCS workers, using O(workers) memory regardless of shard sizes.
+func HashCapture(img *JobImage) (*ShardSums, error) {
 	n := len(img.Images)
-	enc := &EncodedCapture{Raws: make([][]byte, n), Sums: make([]uint64, n)}
+	sums := &ShardSums{Sums: make([]uint64, n), Sizes: make([]int64, n)}
 	errs := make([]error, n)
 	fanOut(n, encodeWorkers(n), func(i int) {
-		enc.Raws[i], enc.Sums[i], errs[i] = encodeShardRawClockless(&img.Images[i])
+		sums.Sums[i], sums.Sizes[i], errs[i] = hashShardClockless(&img.Images[i])
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
-	return enc, nil
+	return sums, nil
 }
 
-// CommitEncoded runs the ordered tail of the commit: diff the encoded
-// shards against the parent manifest, compress and write the fresh set,
-// seal the manifest.
-func CommitEncoded(store Store, epoch int, parent *Manifest, img *JobImage, enc *EncodedCapture) (*Manifest, *CommitStats, error) {
+// CommitStreamed runs the ordered tail of the commit: diff the hashed shard
+// identities against the parent manifest, stream the fresh set into the
+// store (each shard gob+flate+checksum straight into its PutShardStream
+// writer — no whole-shard slice anywhere), and seal the manifest from the
+// writer-reported sizes and checksums. budget bounds the fan-out's
+// in-flight encode memory; nil selects a default-capacity budget.
+func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sums *ShardSums, budget *StreamBudget) (*Manifest, *CommitStats, error) {
 	n := len(img.Images)
-	raws, sums := enc.Raws, enc.Sums
+	if budget == nil {
+		budget = NewStreamBudget(0)
+	}
 
 	parentByRank := make(map[int]*ShardInfo)
 	if parent != nil {
@@ -449,27 +585,33 @@ func CommitEncoded(store Store, epoch int, parent *Manifest, img *JobImage, enc 
 		man.Parent = parent.Epoch
 	}
 
-	// Diff against the parent BEFORE compressing: on the low-churn jobs
+	// Diff against the parent BEFORE streaming: on the low-churn jobs
 	// incremental checkpointing targets, most shards are references and
-	// compressing them would be pure waste. Only the fresh set is
-	// compressed (in parallel).
+	// re-encoding them would be pure waste. Only the fresh set streams.
 	st := &CommitStats{Epoch: epoch}
 	fresh := make([]int, 0, n)
 	for i := range img.Images {
 		ri := &img.Images[i]
 		si := ShardInfo{
-			Rank:     ri.Rank,
-			RawSize:  int64(len(raws[i])),
-			RawSum:   sums[i],
-			ClockVT:  ri.ClockVT,
-			RefEpoch: epoch,
+			Rank:      ri.Rank,
+			RawSize:   sums.Sizes[i],
+			RawSum:    sums.Sums[i],
+			ClockVT:   ri.ClockVT,
+			RefEpoch:  epoch,
+			RawFormat: RawFormatChunked,
 		}
-		if p := parentByRank[ri.Rank]; p != nil && p.RawSum == sums[i] && p.RawSize == int64(len(raws[i])) {
+		// Reuse keys on the raw identity, which includes the layout: a
+		// legacy-format parent shard never hashes equal to a chunked one, so
+		// a chain resumed from an old store re-writes (not mis-references)
+		// its first capture. The reused entry copies the parent's format so
+		// decode follows the bytes that actually exist.
+		if p := parentByRank[ri.Rank]; p != nil && p.RawSum == sums.Sums[i] && p.RawSize == sums.Sizes[i] {
 			// Unchanged since the parent capture: reference the bytes where
 			// they already live instead of rewriting them.
 			si.RefEpoch = p.RefEpoch
 			si.Size = p.Size
 			si.Checksum = p.Checksum
+			si.RawFormat = p.RawFormat
 			st.ReusedShards++
 			st.ReusedBytes += p.Size
 		} else {
@@ -478,25 +620,53 @@ func CommitEncoded(store Store, epoch int, parent *Manifest, img *JobImage, enc 
 		man.Shards[i] = si
 	}
 
-	blobs := make([][]byte, len(fresh))
-	cerrs := make([]error, len(fresh))
+	// Stream the fresh shards concurrently, each worker's in-flight state
+	// charged against the budget: the fan-out degrades gracefully to fewer
+	// concurrent streams as the budget tightens, never to more memory.
+	ferrs := make([]error, len(fresh))
 	fanOut(len(fresh), encodeWorkers(len(fresh)), func(j int) {
-		blobs[j], cerrs[j] = compressShard(img.Images[fresh[j]].Rank, raws[fresh[j]])
+		ferrs[j] = func() error {
+			i := fresh[j]
+			ri := &img.Images[i]
+			budget.Acquire(shardStreamFootprint)
+			defer budget.Release(shardStreamFootprint)
+			dst, err := store.PutShardStream(epoch, ri.Rank)
+			if err != nil {
+				return err
+			}
+			sw, err := NewShardWriter(ri.Rank, dst)
+			if err != nil {
+				dst.Close()
+				return err
+			}
+			encErr := sw.Encode(ri, true)
+			sum, closeErr := sw.Close()
+			if encErr != nil {
+				return encErr
+			}
+			if closeErr != nil {
+				return closeErr
+			}
+			// The raw identity must match the pre-ticket hash: it keys the
+			// next epoch's diff, and a drift here would silently reuse a
+			// changed shard later.
+			if sum.RawSum != sums.Sums[i] || sum.RawSize != sums.Sizes[i] {
+				return fmt.Errorf("ckpt: rank %d shard identity drifted between hash and stream (state mutated during commit?)", ri.Rank)
+			}
+			si := &man.Shards[i]
+			si.Size = sum.Size
+			si.Checksum = sum.Checksum
+			return nil
+		}()
 	})
-	for _, err := range cerrs {
+	for _, err := range ferrs {
 		if err != nil {
 			return nil, nil, err
 		}
 	}
-	for j, i := range fresh {
-		si := &man.Shards[i]
-		si.Size = int64(len(blobs[j]))
-		si.Checksum = checksumOf(blobs[j])
-		if err := store.PutShard(epoch, si.Rank, blobs[j]); err != nil {
-			return nil, nil, err
-		}
+	for _, i := range fresh {
 		st.FreshShards++
-		st.FreshBytes += si.Size
+		st.FreshBytes += man.Shards[i].Size
 	}
 	if err := store.PutManifest(epoch, man); err != nil {
 		return nil, nil, err
@@ -518,13 +688,69 @@ func LatestEpoch(store Store) (int, error) {
 	return epochs[len(epochs)-1], nil
 }
 
+// sealedSet returns the store's sealed epochs as a set.
+func sealedSet(store Store) (map[int]bool, error) {
+	epochs, err := store.Epochs()
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[int]bool, len(epochs))
+	for _, e := range epochs {
+		set[e] = true
+	}
+	return set, nil
+}
+
+// unsealedRefErr is the one diagnostic for a cross-epoch reference whose
+// target epoch is not sealed (shared by every chain-resolution entry point
+// so the wording cannot drift between them).
+func unsealedRefErr(man *Manifest, si *ShardInfo) error {
+	return fmt.Errorf("ckpt: epoch %d rank %d references epoch %d, which is not sealed in the store (aborted commit or lost parent manifest)",
+		man.Epoch, si.Rank, si.RefEpoch)
+}
+
+// checkRefsSealed validates that every cross-epoch reference in a manifest
+// resolves to a SEALED epoch. A reference into an unsealed epoch directory
+// (an aborted commit, or a chain whose parent manifest was lost) must fail
+// with a diagnostic naming the reference — its shard files may physically
+// exist, and silently restoring from an aborted commit is exactly the
+// corruption the manifest-sealed-last contract exists to prevent.
+func checkRefsSealed(store Store, man *Manifest) error {
+	hasRefs := false
+	for i := range man.Shards {
+		if man.Shards[i].RefEpoch != man.Epoch {
+			hasRefs = true
+			break
+		}
+	}
+	if !hasRefs {
+		return nil
+	}
+	sealed, err := sealedSet(store)
+	if err != nil {
+		return err
+	}
+	for i := range man.Shards {
+		si := &man.Shards[i]
+		if si.RefEpoch != man.Epoch && !sealed[si.RefEpoch] {
+			return unsealedRefErr(man, si)
+		}
+	}
+	return nil
+}
+
 // LoadJobImage materializes one epoch's job image from a store, resolving
-// shard references through the chain and verifying every shard's checksum.
-// Failures name the epoch and rank (and the referenced epoch physically
-// holding the bytes) so a damaged chain is attributable.
+// shard references through the chain (each shard streamed and verified on
+// the way in — the compressed blob is never materialized) and verifying
+// every shard's checksum. Failures name the epoch and rank (and the
+// referenced epoch physically holding the bytes) so a damaged chain is
+// attributable.
 func LoadJobImage(store Store, epoch int) (*JobImage, error) {
 	man, err := store.GetManifest(epoch)
 	if err != nil {
+		return nil, err
+	}
+	if err := checkRefsSealed(store, man); err != nil {
 		return nil, err
 	}
 	ji := &JobImage{
@@ -553,20 +779,20 @@ func LoadJobImage(store Store, epoch int) (*JobImage, error) {
 	return ji, nil
 }
 
-// loadShard fetches, verifies, and decodes one shard through its reference.
+// loadShard streams, verifies, and decodes one shard through its reference:
+// the stored bytes are checksummed as they are read and decompression feeds
+// the gob decoder directly, so nothing shard-sized is buffered on the way.
 func loadShard(store Store, man *Manifest, si *ShardInfo) (*RankImage, error) {
 	at := fmt.Sprintf("epoch %d rank %d", man.Epoch, si.Rank)
 	if si.RefEpoch != man.Epoch {
 		at = fmt.Sprintf("epoch %d rank %d (shard stored in epoch %d)", man.Epoch, si.Rank, si.RefEpoch)
 	}
-	blob, err := store.GetShard(si.RefEpoch, si.Rank)
+	rc, err := store.OpenShard(si.RefEpoch, si.Rank)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: %s: %w", at, err)
 	}
-	if got := checksumOf(blob); got != si.Checksum {
-		return nil, fmt.Errorf("ckpt: %s: shard corrupted (checksum %x, want %x)", at, got, si.Checksum)
-	}
-	ri, err := decodeShard(blob, si.RawSize)
+	defer rc.Close()
+	ri, err := decodeShardStream(rc, si.RawSize, si.Checksum, si.RawFormat)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: %s: %w", at, err)
 	}
@@ -591,9 +817,20 @@ func ExtractRankFromStore(store Store, epoch, rank int) (*RankImage, error) {
 		return nil, err
 	}
 	for i := range man.Shards {
-		if man.Shards[i].Rank == rank {
-			return loadShard(store, man, &man.Shards[i])
+		si := &man.Shards[i]
+		if si.Rank != rank {
+			continue
 		}
+		if si.RefEpoch != man.Epoch {
+			sealed, err := sealedSet(store)
+			if err != nil {
+				return nil, err
+			}
+			if !sealed[si.RefEpoch] {
+				return nil, unsealedRefErr(man, si)
+			}
+		}
+		return loadShard(store, man, si)
 	}
 	return nil, fmt.Errorf("ckpt: epoch %d has no rank %d", epoch, rank)
 }
@@ -641,6 +878,26 @@ func ReadSetOf(man *Manifest) []netmodel.EpochRead {
 	return reads
 }
 
+// ResolveReadSet computes a store epoch's restart read set AFTER validating
+// the chain it crosses: the epoch's manifest must decode and every
+// cross-epoch reference must land in a sealed epoch. A broken chain — a
+// referenced parent that was deleted, or whose manifest was lost mid-commit
+// — returns a descriptive error naming the (epoch, rank, referenced epoch)
+// instead of a silently mispriced (or zero-valued) read set. It is the
+// entry point for callers that only PRICE an epoch without loading it;
+// rt.RestartFromStore gets the identical validation from LoadJobImage
+// (same checkRefsSealed, run before any shard is touched).
+func ResolveReadSet(store Store, epoch int) ([]netmodel.EpochRead, error) {
+	man, err := store.GetManifest(epoch)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkRefsSealed(store, man); err != nil {
+		return nil, err
+	}
+	return ReadSetOf(man), nil
+}
+
 // StoreFault names one damaged or unresolvable shard in a store chain.
 type StoreFault struct {
 	Epoch    int // epoch whose manifest references the shard
@@ -669,6 +926,10 @@ func VerifyStore(store Store) ([]StoreFault, error) {
 		rawSize     int64
 	}
 	verified := make(map[shardID]bool)
+	sealed := make(map[int]bool, len(epochs))
+	for _, e := range epochs {
+		sealed[e] = true
+	}
 	var faults []StoreFault
 	for _, e := range epochs {
 		man, err := store.GetManifest(e)
@@ -679,6 +940,16 @@ func VerifyStore(store Store) ([]StoreFault, error) {
 		todo := make([]int, 0, len(man.Shards))
 		for i := range man.Shards {
 			si := &man.Shards[i]
+			if si.RefEpoch != man.Epoch && !sealed[si.RefEpoch] {
+				// The referenced epoch is gone or never sealed: its shard
+				// file may even exist (an aborted commit), but nothing
+				// vouches for it — attribute rather than trial-decode.
+				faults = append(faults, StoreFault{
+					Epoch: e, Rank: si.Rank, RefEpoch: si.RefEpoch,
+					Err: fmt.Errorf("references epoch %d, which is not sealed in the store", si.RefEpoch),
+				})
+				continue
+			}
 			if !verified[shardID{si.RefEpoch, si.Rank, si.Checksum, si.RawSize}] {
 				todo = append(todo, i)
 			}

@@ -1,12 +1,33 @@
 package ckpt
 
 import (
+	"bytes"
 	"os"
 	"strings"
 	"testing"
 
 	"mana/internal/netmodel"
 )
+
+// truncateShard shrinks a FileStore shard file to frac of its length (a torn
+// write: the writer died, or the filesystem lost the tail) and returns a
+// restore function.
+func truncateShard(t *testing.T, fs *FileStore, epoch, rank int, frac float64) func() {
+	t.Helper()
+	path := fs.ShardPath(epoch, rank)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob[:int(float64(len(blob))*frac)], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return func() {
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
 
 // testImage builds a synthetic n-rank job image whose per-rank state is
 // derived from seed; epoch-over-epoch tests mutate individual ranks.
@@ -388,5 +409,259 @@ func TestReadSetOf(t *testing.T) {
 	}
 	if total != 4<<20 {
 		t.Fatalf("padded read set bytes %d, want %d", total, int64(4)<<20)
+	}
+}
+
+// commitChain seals a 3-epoch incremental chain into a fresh FileStore:
+// epoch 0 full, epoch 1 changes only rank 1, epoch 2 changes only rank 0 —
+// so every later epoch references parents.
+func commitChain(t *testing.T) *FileStore {
+	t.Helper()
+	fs := mustFileStore(t)
+	man, _, err := CommitCapture(fs, 0, nil, testImage(4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	img1 := testImage(4, 7)
+	img1.Images[1].App[0] ^= 0xFF
+	img1.CaptureVT += 1
+	if man, _, err = CommitCapture(fs, 1, man, img1); err != nil {
+		t.Fatal(err)
+	}
+
+	img2 := testImage(4, 7)
+	img2.Images[1].App[0] ^= 0xFF // unchanged since epoch 1: reused from it
+	img2.Images[0].App[0] ^= 0xAA
+	img2.CaptureVT += 2
+	if _, _, err = CommitCapture(fs, 2, man, img2); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// TestStreamingCommitMatchesBlobPath: the streamed store objects must be
+// byte-identical to what the blob adapters report, and the manifest's
+// writer-stamped sizes/checksums must agree with the stored bytes.
+func TestStreamingCommitMatchesBlobPath(t *testing.T) {
+	for name, store := range map[string]Store{"mem": NewMemStore(), "file": mustFileStore(t)} {
+		t.Run(name, func(t *testing.T) {
+			img := testImage(4, 2)
+			man, _, err := CommitCapture(store, 0, nil, img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, si := range man.Shards {
+				blob, err := store.GetShard(0, si.Rank)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if int64(len(blob)) != si.Size {
+					t.Fatalf("rank %d: stored %d bytes, manifest says %d", si.Rank, len(blob), si.Size)
+				}
+				if got := checksumOf(blob); got != si.Checksum {
+					t.Fatalf("rank %d: stored checksum %x, manifest says %x", si.Rank, got, si.Checksum)
+				}
+				if si.RawFormat != RawFormatChunked {
+					t.Fatalf("rank %d: fresh shard written in format %d", si.Rank, si.RawFormat)
+				}
+				// The blob adapters and the stream read the same bytes.
+				ri, err := decodeShardStream(bytes.NewReader(blob), si.RawSize, si.Checksum, si.RawFormat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ri.Rank != si.Rank {
+					t.Fatalf("rank %d shard holds rank %d", si.Rank, ri.Rank)
+				}
+			}
+		})
+	}
+}
+
+// TestTornShardWriteAttributed: a FileStore shard truncated after its epoch
+// sealed (a torn write surfacing post-crash) must be attributed by
+// VerifyStore and by restart loads to the exact (epoch, rank, ref-epoch)
+// with a corruption diagnostic — never an opaque failure or a panic.
+func TestTornShardWriteAttributed(t *testing.T) {
+	fs := commitChain(t)
+	for name, frac := range map[string]float64{"half": 0.5, "empty": 0, "one-byte": 0.01} {
+		t.Run(name, func(t *testing.T) {
+			restore := truncateShard(t, fs, 0, 2, frac) // rank 2's bytes live in epoch 0
+			defer restore()
+
+			faults, err := VerifyStore(fs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(faults) == 0 {
+				t.Fatal("torn shard not detected")
+			}
+			for _, f := range faults {
+				if f.Rank != 2 || f.RefEpoch != 0 {
+					t.Fatalf("torn write misattributed: %+v (want rank 2, bytes in epoch 0)", f)
+				}
+				if !strings.Contains(f.Err.Error(), "corrupted") {
+					t.Fatalf("torn write not reported as corruption: %v", f.Err)
+				}
+			}
+			// Every epoch resolves rank 2 to the torn blob.
+			if len(faults) != 3 {
+				t.Fatalf("want a fault per referencing epoch (3), got %+v", faults)
+			}
+			_, lerr := LoadJobImage(fs, 2)
+			if lerr == nil {
+				t.Fatal("load over a torn shard succeeded")
+			}
+			for _, want := range []string{"epoch 2", "rank 2", "stored in epoch 0", "corrupted"} {
+				if !strings.Contains(lerr.Error(), want) {
+					t.Fatalf("load error %q does not mention %q", lerr, want)
+				}
+			}
+		})
+	}
+
+	// Trailing garbage is torn in the other direction — the stored object no
+	// longer matches what was checksummed at commit, even though the
+	// compressed stream inside still decodes.
+	t.Run("appended", func(t *testing.T) {
+		path := fs.ShardPath(0, 2)
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("junk")); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		defer func() {
+			blob, _ := os.ReadFile(path)
+			os.WriteFile(path, blob[:len(blob)-4], 0o644)
+		}()
+		if _, err := LoadJobImage(fs, 0); err == nil || !strings.Contains(err.Error(), "corrupted") {
+			t.Fatalf("trailing garbage not reported as corruption: %v", err)
+		}
+	})
+}
+
+// TestChainBrokenParentAttributed: resolving a chain whose referenced
+// parent epoch is missing or unsealed must return a descriptive error from
+// every entry point — load, single-rank extract, read-set pricing — and a
+// per-shard fault from VerifyStore; never a zero-value read set.
+func TestChainBrokenParentAttributed(t *testing.T) {
+	wantMsg := "references epoch 0, which is not sealed"
+	check := func(t *testing.T, fs *FileStore) {
+		t.Helper()
+		if _, err := LoadJobImage(fs, 2); err == nil || !strings.Contains(err.Error(), wantMsg) {
+			t.Fatalf("load error %v does not explain the broken chain", err)
+		}
+		// Rank 2 never changed after epoch 0, so its extract crosses the
+		// broken reference.
+		if _, err := ExtractRankFromStore(fs, 2, 2); err == nil || !strings.Contains(err.Error(), wantMsg) {
+			t.Fatalf("extract error %v does not explain the broken chain", err)
+		}
+		reads, err := ResolveReadSet(fs, 2)
+		if err == nil || !strings.Contains(err.Error(), wantMsg) {
+			t.Fatalf("read-set error %v does not explain the broken chain", err)
+		}
+		if reads != nil {
+			t.Fatalf("broken chain produced a read set anyway: %+v", reads)
+		}
+		faults, err := VerifyStore(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(faults) == 0 {
+			t.Fatal("verify missed the broken chain")
+		}
+		for _, f := range faults {
+			if f.RefEpoch != 0 {
+				t.Fatalf("fault misattributed: %+v (want a reference into epoch 0)", f)
+			}
+			if !strings.Contains(f.Err.Error(), "not sealed") {
+				t.Fatalf("fault %v does not explain the missing seal", f.Err)
+			}
+		}
+	}
+
+	t.Run("unsealed", func(t *testing.T) {
+		// The parent's shards still exist on disk — only its seal is gone
+		// (a lost manifest). Reading them anyway would restore state nothing
+		// vouches for.
+		fs := commitChain(t)
+		if err := os.Remove(fs.ManifestPath(0)); err != nil {
+			t.Fatal(err)
+		}
+		check(t, fs)
+	})
+	t.Run("missing", func(t *testing.T) {
+		fs := commitChain(t)
+		if err := os.RemoveAll(fs.EpochDir(0)); err != nil {
+			t.Fatal(err)
+		}
+		check(t, fs)
+	})
+}
+
+// TestResolveReadSetMatchesManifest: on a healthy chain the validated read
+// set is exactly ReadSetOf of the epoch's manifest.
+func TestResolveReadSetMatchesManifest(t *testing.T) {
+	fs := commitChain(t)
+	man, err := fs.GetManifest(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReadSetOf(man)
+	got, err := ResolveReadSet(fs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read set %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("read set %+v, want %+v", got, want)
+		}
+	}
+	if len(want) < 2 {
+		t.Fatalf("chain fixture holds no cross-epoch references: %+v", want)
+	}
+}
+
+// TestCommitStreamedBudgetBounded: commits succeed under an arbitrarily
+// tight budget (a single stream always fits), and the budget's high-water
+// mark never exceeds its capacity.
+func TestCommitStreamedBudgetBounded(t *testing.T) {
+	for name, capBytes := range map[string]int64{
+		"tight":    1, // below one stream's footprint: degrades to serial
+		"one":      shardStreamFootprint,
+		"roomy":    64 << 20,
+		"default0": 0,
+	} {
+		t.Run(name, func(t *testing.T) {
+			budget := NewStreamBudget(capBytes)
+			store := NewMemStore()
+			img := testImage(16, 3)
+			sums, err := HashCapture(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			man, st, err := CommitStreamed(store, 0, nil, img, sums, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.FreshShards != 16 {
+				t.Fatalf("commit stats: %+v", st)
+			}
+			peak := budget.TakePeak()
+			if peak <= 0 || peak > budget.Cap() {
+				t.Fatalf("peak %d outside (0, %d]", peak, budget.Cap())
+			}
+			got, err := LoadJobImage(store, man.Epoch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameImages(t, img, got)
+		})
 	}
 }

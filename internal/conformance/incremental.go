@@ -29,11 +29,19 @@ type IncrementalChainReport struct {
 	StallAsyncVT  float64 // summed job stall of the async incremental chain
 	StallTieredVT float64 // summed job stall of the burst-buffer async chain
 	TierDrainVT   float64 // summed background burst->PFS drain of that chain
+
+	// Streamed leg: the same async incremental pipeline committed under a
+	// deliberately tight streaming-encode budget. StreamPeakBytes is the
+	// largest per-capture encode high-water observed; the leg fails unless
+	// it stays within StreamBudgetBytes.
+	StreamBudgetBytes int64
+	StreamPeakBytes   int64
 }
 
 func (r *IncrementalChainReport) String() string {
-	return fmt.Sprintf("%d epochs, %d fresh / %d reused shards, stall %.3gs sync-full vs %.3gs async-incremental vs %.3gs burst-tiered (drain %.3gs)",
-		r.Epochs, r.FreshShards, r.ReusedShards, r.StallSyncVT, r.StallAsyncVT, r.StallTieredVT, r.TierDrainVT)
+	return fmt.Sprintf("%d epochs, %d fresh / %d reused shards, stall %.3gs sync-full vs %.3gs async-incremental vs %.3gs burst-tiered (drain %.3gs); streamed peak encode %d B under a %d B budget",
+		r.Epochs, r.FreshShards, r.ReusedShards, r.StallSyncVT, r.StallAsyncVT, r.StallTieredVT, r.TierDrainVT,
+		r.StreamPeakBytes, r.StreamBudgetBytes)
 }
 
 // chainPlan returns a periodic checkpoint plan tuned to land at least
@@ -50,7 +58,8 @@ func chainPlan(goldenRep *rt.Report, minEpochs int) rt.CkptPlan {
 // runChain executes the workload with periodic captures into a fresh
 // FileStore and returns the report plus the store.
 func runChain(o *Options, algo string, goldenRep *rt.Report, factory func(int) rt.App,
-	dir string, minEpochs int, async, incremental bool, tier netmodel.StorageTier) (*rt.Report, *ckpt.FileStore, error) {
+	dir string, minEpochs int, async, incremental bool, tier netmodel.StorageTier,
+	streamBudget int64) (*rt.Report, *ckpt.FileStore, error) {
 	fs, err := ckpt.NewFileStore(dir)
 	if err != nil {
 		return nil, nil, err
@@ -61,6 +70,7 @@ func runChain(o *Options, algo string, goldenRep *rt.Report, factory func(int) r
 	plan.Async = async
 	plan.Incremental = incremental
 	plan.Tier = tier
+	plan.StreamBudgetBytes = streamBudget
 	cfg.Checkpoint = &plan
 	rep, err := rt.Run(cfg, factory)
 	if err != nil {
@@ -119,23 +129,32 @@ func VerifyIncrementalChain(wl, algo string, opts Options, requireReuse bool) (*
 	defer os.RemoveAll(tmp)
 
 	// Synchronous full captures: the reference chain.
-	syncRep, syncFS, err := runChain(&o, algo, goldenRep, factory, tmp+"/sync", minEpochs, false, false, netmodel.TierPFS)
+	syncRep, syncFS, err := runChain(&o, algo, goldenRep, factory, tmp+"/sync", minEpochs, false, false, netmodel.TierPFS, 0)
 	if err != nil {
 		return nil, err
 	}
 	// Asynchronous incremental captures: the staged pipeline under test.
-	asyncRep, asyncFS, err := runChain(&o, algo, goldenRep, factory, tmp+"/async", minEpochs, true, true, netmodel.TierPFS)
+	asyncRep, asyncFS, err := runChain(&o, algo, goldenRep, factory, tmp+"/async", minEpochs, true, true, netmodel.TierPFS, 0)
 	if err != nil {
 		return nil, err
 	}
 	// The same pipeline staged on the burst-buffer tier: tier selection is
 	// pure virtual-time accounting, so the chain must stay digest-identical
 	// while stalling even less than the PFS async chain.
-	tieredRep, tieredFS, err := runChain(&o, algo, goldenRep, factory, tmp+"/tiered", minEpochs, true, true, netmodel.TierBurstBuffer)
+	tieredRep, tieredFS, err := runChain(&o, algo, goldenRep, factory, tmp+"/tiered", minEpochs, true, true, netmodel.TierBurstBuffer, 0)
 	if err != nil {
 		return nil, err
 	}
-	for _, rep := range []*rt.Report{syncRep, asyncRep, tieredRep} {
+	// Streamed leg: the async incremental pipeline again, committed through
+	// the streaming shard API under a deliberately tight in-flight encode
+	// budget. The budget bounds memory, never content: the chain must stay
+	// digest-identical and restart from every sealed epoch like the rest.
+	const streamBudget = int64(4) << 20
+	streamRep, streamFS, err := runChain(&o, algo, goldenRep, factory, tmp+"/streamed", minEpochs, true, true, netmodel.TierPFS, streamBudget)
+	if err != nil {
+		return nil, err
+	}
+	for _, rep := range []*rt.Report{syncRep, asyncRep, tieredRep, streamRep} {
 		if rep.StateDigest != goldenRep.StateDigest {
 			return nil, fmt.Errorf("chained run diverged from golden: %.12s != %.12s",
 				rep.StateDigest, goldenRep.StateDigest)
@@ -168,11 +187,30 @@ func VerifyIncrementalChain(wl, algo string, opts Options, requireReuse bool) (*
 			return nil, fmt.Errorf("burst-tier capture accrued no PFS drain: %+v", st)
 		}
 	}
+	// Streamed-leg accounting: every capture must report a positive encode
+	// high-water mark at or below the configured budget — the bounded-memory
+	// contract, checked capture by capture.
+	rpt.StreamBudgetBytes = streamBudget
+	for _, st := range streamRep.CheckpointHistory {
+		// An epoch that reused every shard legitimately streams nothing and
+		// peaks at zero; only a capture that WROTE fresh shards must show a
+		// high-water mark.
+		if st.PeakEncodeBytes <= 0 && st.FreshShards > 0 {
+			return nil, fmt.Errorf("streamed capture reported no encode high-water mark: %+v", st)
+		}
+		if st.PeakEncodeBytes > streamBudget {
+			return nil, fmt.Errorf("streamed capture's encode peak %d exceeds the %d budget",
+				st.PeakEncodeBytes, streamBudget)
+		}
+		if st.PeakEncodeBytes > rpt.StreamPeakBytes {
+			rpt.StreamPeakBytes = st.PeakEncodeBytes
+		}
+	}
 	if len(asyncRep.CheckpointHistory) < minEpochs || len(syncRep.CheckpointHistory) < minEpochs ||
-		len(tieredRep.CheckpointHistory) < minEpochs {
-		return nil, fmt.Errorf("only %d async / %d sync / %d tiered chained captures (want >= %d)",
+		len(tieredRep.CheckpointHistory) < minEpochs || len(streamRep.CheckpointHistory) < minEpochs {
+		return nil, fmt.Errorf("only %d async / %d sync / %d tiered / %d streamed chained captures (want >= %d)",
 			len(asyncRep.CheckpointHistory), len(syncRep.CheckpointHistory),
-			len(tieredRep.CheckpointHistory), minEpochs)
+			len(tieredRep.CheckpointHistory), len(streamRep.CheckpointHistory), minEpochs)
 	}
 	// Compare the MEAN job-visible stall per capture: capture counts may
 	// drift between the two runs (host scheduling shifts where chained
@@ -205,6 +243,9 @@ func VerifyIncrementalChain(wl, algo string, opts Options, requireReuse bool) (*
 	if _, err := restartEverySealed(&o, algo, wl+"/burst-tiered", tieredFS, goldenRep.StateDigest, factory); err != nil {
 		return nil, err
 	}
+	if _, err := restartEverySealed(&o, algo, wl+"/streamed", streamFS, goldenRep.StateDigest, factory); err != nil {
+		return nil, err
+	}
 	n, err := restartEverySealed(&o, algo, wl+"/async-incremental", asyncFS, goldenRep.StateDigest, factory)
 	if err != nil {
 		return nil, err
@@ -223,7 +264,7 @@ func VerifyIncrementalChain(wl, algo string, opts Options, requireReuse bool) (*
 		return nil, fmt.Errorf("tiered chain sealed manifest carries tier %d, want burst", man.Tier)
 	}
 
-	for _, fs := range []*ckpt.FileStore{asyncFS, tieredFS} {
+	for _, fs := range []*ckpt.FileStore{asyncFS, tieredFS, streamFS} {
 		if faults, err := ckpt.VerifyStore(fs); err != nil || len(faults) != 0 {
 			return nil, fmt.Errorf("pristine chain did not verify: faults=%v err=%v", faults, err)
 		}

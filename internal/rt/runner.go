@@ -73,6 +73,14 @@ type CkptPlan struct {
 	// plus manifest) in addition to the in-memory image. Restart can load
 	// any sealed epoch back via RestartFromStore.
 	Store ckpt.Store
+	// StreamBudgetBytes bounds the commit stage's in-flight streaming-
+	// encode memory: shards gob+compress+checksum straight into the store's
+	// shard streams, and concurrent streams charge a fixed footprint
+	// against this budget, so peak encode memory never scales with the
+	// image size. Zero selects ckpt.DefaultStreamBudgetBytes. The realized
+	// high-water mark is reported per capture as
+	// CheckpointStats.PeakEncodeBytes.
+	StreamBudgetBytes int64
 }
 
 // Config describes one job.
@@ -193,6 +201,7 @@ func newCoordinator(w *mpi.World, plan *CkptPlan) (*ckpt.Coordinator, error) {
 		coord.Async = plan.Async
 		coord.Incremental = plan.Incremental
 		coord.Tier = plan.Tier
+		coord.StreamBudgetBytes = plan.StreamBudgetBytes
 		store := plan.Store
 		if store == nil && plan.Incremental {
 			// Incremental reuse needs epochs to diff against; default to an
@@ -562,6 +571,11 @@ func RestartFromStore(cfg Config, store ckpt.Store, epoch int, factory func(rank
 	if err != nil {
 		return nil, err
 	}
+	// LoadJobImage validates chain resolution before touching any shard: a
+	// reference into a missing or unsealed parent epoch fails with one
+	// descriptive error (the same check ckpt.ResolveReadSet fronts for
+	// callers that only price), never a mispriced read set or a confusing
+	// per-shard fetch failure mid-restore.
 	img, err := ckpt.LoadJobImage(store, epoch)
 	if err != nil {
 		return nil, err

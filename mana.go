@@ -80,7 +80,7 @@
 // cross-geometry sweep (ccverify -crossgeo) asserts digest equality across
 // placements.
 //
-// # Asynchronous and incremental checkpointing
+// # Asynchronous, incremental, and streaming checkpointing
 //
 // The checkpoint path is a staged pipeline committed to a pluggable Store
 // (internal/ckpt/FORMAT.md): with CkptPlan.Async the job resumes as soon as
@@ -90,14 +90,22 @@
 // analog of MANA/DMTCP); with CkptPlan.Incremental, ranks whose state did
 // not change since the previous committed epoch are recorded as references
 // instead of re-written (the low-churn pattern: stragglers keep running
-// after most ranks finish). Each capture seals one store epoch; restart
-// loads any sealed epoch (RestartFromStore), resolving reference chains and
-// attributing corruption to the exact epoch and rank. The conformance
-// engine's incremental sweep (ccverify -incremental) asserts digest
-// equality from every epoch of a FileStore chain — on both storage tiers —
-// and its fault-injection suite (ccverify -faults) kills ranks mid-drain
-// and mid-capture and asserts the coordinator aborts with diagnostics
-// instead of wedging.
+// after most ranks finish). Shards travel as streams, not blobs: each
+// fresh shard encodes (a small gob header plus its payload bytes raw),
+// compresses, and checksums straight into the store's shard writer
+// through fixed-size buffers, with concurrent streams bounded
+// in bytes by CkptPlan.StreamBudgetBytes (per-capture high-water reported
+// as CheckpointStats.PeakEncodeBytes), so checkpointable image size is not
+// capped by host RAM. Each capture seals one store epoch; restart loads
+// any sealed epoch (RestartFromStore), streaming and resolving reference
+// chains — a reference into a missing or unsealed parent fails with a
+// descriptive error — and attributing corruption to the exact epoch and
+// rank. The conformance engine's incremental sweep (ccverify -incremental)
+// asserts digest equality from every epoch of a FileStore chain — on both
+// storage tiers, plus a budget-constrained streaming leg — and its
+// fault-injection suite (ccverify -faults) kills ranks mid-drain and
+// mid-capture and asserts the coordinator aborts with diagnostics instead
+// of wedging.
 //
 // # Storage tiers and the failure model
 //
