@@ -665,6 +665,109 @@ func BenchmarkStreamingCheckpoint(b *testing.B) {
 	})
 }
 
+// BenchmarkChainDepthRestart measures the restart-time price of a deep
+// incremental chain and shows the retention policy bounding it. The same
+// periodic straggler run (most ranks frozen, so every epoch references its
+// ancestors) is captured twice: raw — the chain deepens with every seal and
+// the modeled restart read pays per-epoch open latency and per-shard seeks
+// all the way down — and with KeepEpochs/CompactEvery, where the coordinator
+// periodically rewrites the chain into a self-contained epoch and collects
+// the dead ones, so the latest epoch restarts at exactly the depth-1
+// sequential-scan cost no matter how long the run was. Headline metrics are
+// the resolved read-set depth ("chain-depth") and the modeled restart read
+// ("restart-read-s"); the bounded variant must be strictly cheaper and
+// depth 1.
+func BenchmarkChainDepthRestart(b *testing.B) {
+	const (
+		ranks  = 64
+		padded = 398 << 20 // Figure 9's VASP per-rank image size
+	)
+	elems := 64 << 10
+	if testing.Short() {
+		elems = 8 << 10
+	}
+
+	run := func(b *testing.B, keep, compactEvery int) (depth int, readVT float64, reclaimed int64) {
+		store := ckpt.NewMemStore()
+		cfg := rt.Config{
+			Ranks: ranks, PPN: 32, Params: netmodel.PerlmutterLike(), Algorithm: rt.AlgoCC,
+			Checkpoint: &rt.CkptPlan{
+				AtStep: 4, Every: 1e-6, Mode: ckpt.ContinueAfterCapture,
+				Async: true, Incremental: true, Store: store,
+				PaddedBytesPerRank: padded,
+				KeepEpochs:         keep,
+				CompactEvery:       compactEvery,
+			},
+		}
+		scfg := apps.StragglerConfig{
+			HotRanks: 2, ColdSteps: 2, HotIters: 24,
+			StateElems: elems, HotStateElems: 256,
+		}
+		rep, err := rt.Run(cfg, func(rank int) rt.App {
+			return apps.NewStraggler(scfg, rank)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.CheckpointHistory) < 5 {
+			b.Fatalf("only %d chained captures (want a chain at least 5 deep)", len(rep.CheckpointHistory))
+		}
+		for _, st := range rep.CheckpointHistory {
+			reclaimed += st.GCReclaimedBytes
+		}
+		latest, err := ckpt.LatestEpoch(store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		man, err := store.GetManifest(latest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rcfg := rt.Config{Ranks: ranks, PPN: 32, Params: netmodel.PerlmutterLike(), Algorithm: rt.AlgoCC}
+		rrep, err := rt.RestartFromStore(rcfg, store, latest, func(rank int) rt.App {
+			return apps.NewStraggler(scfg, rank)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return len(ckpt.ReadSetOf(man)), rrep.RestartReadVT, reclaimed
+	}
+
+	b.Run("raw-chain", func(b *testing.B) {
+		var depth int
+		var readVT float64
+		for i := 0; i < b.N; i++ {
+			depth, readVT, _ = run(b, 0, 0)
+		}
+		if depth < 2 {
+			b.Fatalf("raw chain's latest epoch resolved to depth %d (nothing to bound)", depth)
+		}
+		b.ReportMetric(float64(depth), "chain-depth")
+		b.ReportMetric(readVT, "restart-read-s")
+	})
+	b.Run("compact-gc", func(b *testing.B) {
+		var depth int
+		var readVT, rawVT float64
+		var reclaimed int64
+		for i := 0; i < b.N; i++ {
+			_, rawVT, _ = run(b, 0, 0)
+			depth, readVT, reclaimed = run(b, 1, 3)
+		}
+		if depth != 1 {
+			b.Fatalf("retention policy left the latest epoch at depth %d, want 1", depth)
+		}
+		if readVT >= rawVT {
+			b.Fatalf("bounded restart read %.4gs is not below the raw chain's %.4gs", readVT, rawVT)
+		}
+		if reclaimed <= 0 {
+			b.Fatal("gc reported no reclaimed bytes over the whole run")
+		}
+		b.ReportMetric(float64(depth), "chain-depth")
+		b.ReportMetric(readVT, "restart-read-s")
+		b.ReportMetric(rawVT/readVT, "read-shrink-x")
+	})
+}
+
 // BenchmarkAblationGgid measures the global-group-id hash — the only
 // per-call computation the CC algorithm adds beyond a map increment.
 func BenchmarkAblationGgid(b *testing.B) {

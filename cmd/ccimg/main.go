@@ -10,6 +10,12 @@
 //	                                     reference resolution (exit 1 on fault)
 //	ccimg extract -rank N [-epoch E] [-o out.shard] <image|store-dir>
 //	                                     decode one rank's shard without the job
+//	ccimg gc -keep N <store-dir>         delete dead epochs (liveness traced
+//	                                     through shard references) and sweep
+//	                                     aborted-commit debris
+//	ccimg compact [-epoch E] <store-dir> rewrite an epoch's chain into a fresh
+//	                                     self-contained epoch (then gc -keep 1
+//	                                     reclaims the old chain)
 //
 // Bare `ccimg [-v] <path>` is shorthand for `ccimg info`. A directory
 // argument is treated as a checkpoint store (one epoch per capture,
@@ -36,7 +42,7 @@ func main() {
 	cmd := "info"
 	if len(args) > 0 {
 		switch args[0] {
-		case "info", "verify", "extract":
+		case "info", "verify", "extract", "gc", "compact":
 			cmd, args = args[0], args[1:]
 		}
 	}
@@ -48,6 +54,10 @@ func main() {
 		err = runVerify(args)
 	case "extract":
 		err = runExtract(args)
+	case "gc":
+		err = runGC(args)
+	case "compact":
+		err = runCompact(args)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccimg:", err)
@@ -432,6 +442,64 @@ func verifyStore(store *ckpt.FileStore, path string) error {
 		}
 	}
 	return fmt.Errorf("%d fault(s) in the chain", len(faults))
+}
+
+// runGC reclaims a store's dead epochs: everything not reachable from the
+// newest -keep sealed manifests through their shard references, plus
+// unsealed (aborted-commit) debris.
+func runGC(args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	keep := fs.Int("keep", 1, "sealed epochs to retain (plus everything they reference)")
+	fs.Parse(args)
+	tgt, err := readTarget(fs, "ccimg gc [-keep N] <store-dir>")
+	if err != nil {
+		return err
+	}
+	if tgt.store == nil {
+		return fmt.Errorf("gc needs a store directory, not an image file")
+	}
+	st, err := ckpt.GCStore(tgt.store, *keep)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: kept epochs %v\n", tgt.path, st.LiveEpochs)
+	fmt.Printf("reclaimed %d bytes: %d dead epoch(s), %d shard(s), %d unsealed debris file(s)\n",
+		st.ReclaimedBytes, st.DeletedEpochs, st.DeletedShards, st.SweptObjects)
+	return nil
+}
+
+// runCompact rewrites one epoch's resolved chain into a fresh
+// self-contained epoch (verified byte-identical copies, restart digest
+// unchanged); the old chain becomes reclaimable by gc.
+func runCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	epoch := fs.Int("epoch", -1, "epoch to compact (-1 = latest)")
+	fs.Parse(args)
+	tgt, err := readTarget(fs, "ccimg compact [-epoch E] <store-dir>")
+	if err != nil {
+		return err
+	}
+	if tgt.store == nil {
+		return fmt.Errorf("compact needs a store directory, not an image file")
+	}
+	e := *epoch
+	if e < 0 {
+		if e, err = ckpt.LatestEpoch(tgt.store); err != nil {
+			return err
+		}
+	}
+	man, st, err := ckpt.CompactChain(tgt.store, e, nil)
+	if err != nil {
+		return err
+	}
+	if st == nil {
+		fmt.Printf("%s: epoch %d is already self-contained, nothing to do\n", tgt.path, e)
+		return nil
+	}
+	fmt.Printf("%s: compacted epoch %d into self-contained epoch %d (%d shards, %d bytes)\n",
+		tgt.path, e, man.Epoch, st.FreshShards, st.FreshBytes)
+	fmt.Printf("run `ccimg gc -keep 1 %s` to reclaim the old chain\n", tgt.path)
+	return nil
 }
 
 func runExtract(args []string) error {

@@ -18,7 +18,10 @@
 // stalls only for the burst open latency and each epoch accrues a background
 // drain to the parallel filesystem); the second rebuilds the job from any
 // sealed epoch, resolving references through the chain and reporting the
-// modeled chain-aware restart read time.
+// modeled chain-aware restart read time. Long periodic runs bound the store
+// with a retention policy: -keep N garbage-collects dead epochs after each
+// seal and -compact-every N periodically rewrites the chain into a fresh
+// self-contained epoch, keeping the restart read fan-in at depth 1.
 package main
 
 import (
@@ -43,6 +46,8 @@ func main() {
 		tier     = flag.String("tier", "pfs", "storage tier checkpoints are charged to: pfs or burst")
 		incr     = flag.Bool("incremental", false, "reuse unchanged shards from the previous epoch (implies a store)")
 		budgetMB = flag.Int("stream-budget", 0, "in-flight streaming-encode budget in MiB for store commits (0 = default)")
+		keep     = flag.Int("keep", 0, "garbage-collect the store after each seal, retaining this many epochs (0 = keep everything)")
+		compact  = flag.Int("compact-every", 0, "compact the chain into a self-contained epoch every N seals (0 = never)")
 		storeDir = flag.String("store", "", "commit each capture as an epoch in this store directory")
 		image    = flag.String("image", "", "write the checkpoint image to this file")
 		restart  = flag.String("restart", "", "restart from this image file")
@@ -61,15 +66,18 @@ func main() {
 		Params:    mana.PerlmutterLike(),
 		Algorithm: *algo,
 	}
-	if *ckptAt <= 0 && (*storeDir != "" || *async || *incr || *every > 0 || *tier != "pfs" || *budgetMB != 0) {
+	if *ckptAt <= 0 && (*storeDir != "" || *async || *incr || *every > 0 || *tier != "pfs" || *budgetMB != 0 || *keep != 0 || *compact != 0) {
 		// These flags only shape a checkpoint plan; without a first trigger
 		// they would be silently discarded and the run would complete with
 		// zero captures — surfaced only when a later restart finds an empty
 		// store.
-		fail(fmt.Errorf("-store/-async/-incremental/-every/-tier/-stream-budget require -ckpt-at to schedule the first checkpoint"))
+		fail(fmt.Errorf("-store/-async/-incremental/-every/-tier/-stream-budget/-keep/-compact-every require -ckpt-at to schedule the first checkpoint"))
 	}
 	if *budgetMB < 0 {
 		fail(fmt.Errorf("-stream-budget must be non-negative (MiB)"))
+	}
+	if *keep < 0 || *compact < 0 {
+		fail(fmt.Errorf("-keep and -compact-every must be non-negative"))
 	}
 	if *every > 0 && !*cont {
 		// Periodic chaining only happens when the job continues after each
@@ -95,6 +103,8 @@ func main() {
 			AtVT: *ckptAt, Every: *every, Mode: mode,
 			Async: *async, Incremental: *incr, Tier: storageTier,
 			StreamBudgetBytes: int64(*budgetMB) << 20,
+			KeepEpochs:        *keep,
+			CompactEvery:      *compact,
 		}
 		if *storeDir != "" {
 			fs, err := mana.NewFileStore(*storeDir)
@@ -168,6 +178,13 @@ func main() {
 		if st.Epoch >= 0 {
 			fmt.Printf(", epoch %d: %d fresh / %d reused shards, peak encode %.1f MiB",
 				st.Epoch, st.FreshShards, st.ReusedShards, float64(st.PeakEncodeBytes)/(1<<20))
+		}
+		if st.CompactedEpoch >= 0 {
+			fmt.Printf(", compacted into epoch %d (%.3fs background)", st.CompactedEpoch, st.CompactVT)
+		}
+		if st.GCDeletedEpochs > 0 || st.GCSweptObjects > 0 {
+			fmt.Printf(", gc reclaimed %d bytes (%d epochs, %d debris files)",
+				st.GCReclaimedBytes, st.GCDeletedEpochs, st.GCSweptObjects)
 		}
 		fmt.Println()
 	}

@@ -7,7 +7,7 @@
 //
 //	ccverify [-ranks N] [-ppn N] [-scale F] [-workloads a,b] [-algos cc,2pc]
 //	         [-min-triggers N] [-max-triggers N] [-negative] [-crossgeo]
-//	         [-incremental] [-faults] [-v]
+//	         [-incremental] [-lifecycle] [-faults] [-v]
 //
 // Beyond the trigger matrix, the default run also verifies (on the first
 // runnable case) that a checkpoint restarts correctly onto a different
@@ -17,8 +17,11 @@
 // the staged asynchronous pipeline's FileStore chains restart digest-
 // identically from every epoch with incremental shard reuse and attributable
 // parent-epoch corruption (-incremental, on the low-churn straggler
-// workload), and that killing a rank mid-drain or mid-capture aborts the
-// coordinator with diagnostics instead of wedging (-faults).
+// workload), that chain compaction and epoch garbage collection reclaim
+// storage without changing any surviving restart and attribute dangling
+// references instead of panicking (-lifecycle), and that killing a rank
+// mid-drain or mid-capture aborts the coordinator with diagnostics instead
+// of wedging (-faults).
 //
 // The exit status is non-zero if any check fails, making ccverify directly
 // usable as a CI gate.
@@ -47,6 +50,7 @@ func main() {
 		negative    = flag.Bool("negative", true, "also verify that corrupted images (snapshot and per-shard) are detected")
 		crossgeo    = flag.Bool("crossgeo", true, "also verify restart onto different ranks-per-node geometries")
 		incremental = flag.Bool("incremental", true, "also verify async incremental FileStore chains (straggler workload)")
+		lifecycle   = flag.Bool("lifecycle", true, "also verify GC and chain compaction on a FileStore chain (straggler workload)")
 		faults      = flag.Bool("faults", true, "also verify rank-death fault injection (mid-drain and mid-capture)")
 		verbose     = flag.Bool("v", false, "log every trigger point")
 	)
@@ -120,6 +124,20 @@ func main() {
 			failed = true
 		} else {
 			fmt.Printf("incremental-chain check (%s/%s): %s, ok\n", conformance.DefaultChainWorkload, algo, rpt)
+		}
+	}
+
+	// The lifecycle sweep reuses the same low-churn chain shape: compaction
+	// must restore the depth-1 restart read, GC must reclaim every dead
+	// epoch without touching a live reference, and a broken chain must be
+	// attributed rather than panicking.
+	if *lifecycle {
+		algo := algoList[0]
+		if rpt, err := conformance.VerifyLifecycle(conformance.DefaultChainWorkload, algo, opts); err != nil {
+			fmt.Printf("lifecycle check (%s/%s): FAIL: %v\n", conformance.DefaultChainWorkload, algo, err)
+			failed = true
+		} else {
+			fmt.Printf("lifecycle check (%s/%s): %s, ok\n", conformance.DefaultChainWorkload, algo, rpt)
 		}
 	}
 

@@ -74,6 +74,22 @@ type CheckpointStats struct {
 	// plan has no store (the image stays an in-memory blob).
 	Epoch int
 
+	// Lifecycle accounting (zero unless KeepEpochs/CompactEvery enable the
+	// post-seal lifecycle pass). CompactedEpoch is the self-contained epoch
+	// this seal's compaction produced (-1 when none ran); CompactVT is its
+	// modeled write time (background traffic — it never stalls the job).
+	// The GC fields report what the retention pass reclaimed after this
+	// seal: dead sealed epochs, the fresh shard objects they held,
+	// unsealed-debris files, stored bytes freed, and the modeled deletion
+	// traffic (metadata operations; see netmodel.TierDeleteTime).
+	CompactedEpoch   int
+	CompactVT        float64
+	GCDeletedEpochs  int
+	GCDeletedShards  int
+	GCSweptObjects   int
+	GCReclaimedBytes int64
+	GCVT             float64
+
 	// Incremental accounting: how many shards the commit stage wrote fresh
 	// versus referenced unchanged from an earlier epoch, and the compressed
 	// bytes on each side. Zero without a store.
@@ -174,6 +190,18 @@ type Coordinator struct {
 	// CheckpointStats.PeakEncodeBytes.
 	StreamBudgetBytes int64
 
+	// KeepEpochs, when positive, runs GCStore after every sealed epoch,
+	// retaining the newest KeepEpochs sealed epochs (plus everything they
+	// transitively reference) and reclaiming the rest. Requires a store.
+	KeepEpochs int
+
+	// CompactEvery, when positive, compacts the chain after every
+	// CompactEvery-th seal: the just-sealed epoch is rewritten as a fresh
+	// self-contained epoch (CompactChain), the chain re-roots onto it, and
+	// — combined with KeepEpochs — the old chain becomes reclaimable. An
+	// epoch that is already self-contained resets the counter for free.
+	CompactEvery int
+
 	pending atomic.Bool // fast-path flag read in every wrapper
 
 	mu        sync.Mutex
@@ -209,6 +237,9 @@ type Coordinator struct {
 	commitCond *sync.Cond
 	committed  int // epochs sealed so far (the next commit ticket)
 	lastMan    *Manifest
+	// sealsSinceCompact counts seals toward the next CompactEvery trigger
+	// (guarded by commitMu, like the rest of the commit stage's state).
+	sealsSinceCompact int
 }
 
 // NewCoordinator creates a coordinator for a world. The algorithm is
@@ -487,6 +518,7 @@ func (c *Coordinator) captureLocked() {
 		DrainVT:            maxVT - c.requestVT,
 		ImageBytes:         img.TotalBytes(),
 		Epoch:              -1,
+		CompactedEpoch:     -1,
 		Tier:               c.W.Model.EffectiveTier(c.Tier),
 		CaptureHostSeconds: time.Since(captureStart).Seconds(),
 	}
@@ -602,6 +634,14 @@ type commitResult struct {
 	peakEncode  int64   // streaming encoder's in-flight high-water mark
 	hostSeconds float64
 	err         error
+
+	// Lifecycle pass outcome (KeepEpochs/CompactEvery). lifecycleErr is
+	// kept apart from err: the epoch itself SEALED, so its cost fields must
+	// still be applied even when the retention pass after it failed.
+	compacted    int // epoch the chain was compacted into, -1 when none
+	compactVT    float64
+	gc           *GCStats
+	lifecycleErr error
 }
 
 // commitEpoch runs stages 2–3 for one captured image: hash every shard's
@@ -628,7 +668,7 @@ func (c *Coordinator) commitEpoch(epoch int, img *JobImage) commitResult {
 	}()
 
 	if encErr != nil {
-		return commitResult{epoch: epoch, hostSeconds: time.Since(t0).Seconds(), err: encErr}
+		return commitResult{epoch: epoch, compacted: -1, hostSeconds: time.Since(t0).Seconds(), err: encErr}
 	}
 
 	var parent *Manifest
@@ -648,18 +688,92 @@ func (c *Coordinator) commitEpoch(epoch int, img *JobImage) commitResult {
 	man, st, err := CommitStreamed(c.store, epoch, parent, img, sums, c.budget)
 	peak := c.budget.TakePeak()
 	if err != nil {
-		// Discard any bytes metered before the failure so the next sealed
-		// epoch's cost is not over-charged.
-		c.store.AbortEpoch()
-		return commitResult{epoch: epoch, peakEncode: peak, hostSeconds: time.Since(t0).Seconds(), err: err}
+		// Discard the failed epoch's metered bytes (NOT a concurrent
+		// in-flight epoch's — metering is per-epoch) and its partial shard
+		// debris, so the next sealed epoch's cost is not over-charged and
+		// the store does not accumulate dead files.
+		c.store.AbortEpoch(epoch)
+		return commitResult{epoch: epoch, compacted: -1, peakEncode: peak, hostSeconds: time.Since(t0).Seconds(), err: err}
 	}
 	c.lastMan = man
-	return commitResult{
+	res := commitResult{
 		epoch: epoch, stats: st, cost: c.store.EpochCost(epoch),
-		drain:       c.store.EpochDrain(epoch),
-		peakEncode:  peak,
-		hostSeconds: time.Since(t0).Seconds(),
+		drain:      c.store.EpochDrain(epoch),
+		peakEncode: peak,
+		compacted:  -1,
 	}
+	c.lifecyclePass(epoch, man, &res)
+	res.hostSeconds = time.Since(t0).Seconds()
+	return res
+}
+
+// lifecyclePass runs the retention policy after one sealed epoch, still
+// under the commit ticket (commitMu held, committed == epoch): compaction
+// every CompactEvery-th seal, then GC keeping KeepEpochs. Running inside
+// the ticket is the race-freedom argument for GC vs. an in-flight commit —
+// the next queued commit cannot start until this pass finishes, its diff
+// parent is lastMan (always retained, keep >= 1), and reuse copies RefEpoch
+// from lastMan's entries, all of which GC traced live.
+func (c *Coordinator) lifecyclePass(epoch int, man *Manifest, res *commitResult) {
+	if c.CompactEvery > 0 {
+		c.sealsSinceCompact++
+		if c.sealsSinceCompact >= c.CompactEvery {
+			hasRefs := false
+			for i := range man.Shards {
+				if man.Shards[i].RefEpoch != man.Epoch {
+					hasRefs = true
+					break
+				}
+			}
+			if !hasRefs {
+				c.sealsSinceCompact = 0 // already self-contained
+			} else if c.reserveEpoch(epoch + 1) {
+				// The compacted epoch takes the number epoch+1, which
+				// CompactChain derives as latest-sealed+1 (nothing newer can
+				// seal while we hold the ticket). The number is consumed
+				// either way: the ticket advances past it even when the
+				// compaction fails and the number is burned, or later
+				// commits would wait forever for a seal that never comes.
+				newMan, _, err := CompactChain(c.store, epoch, c.budget)
+				c.committed++
+				if err != nil {
+					res.lifecycleErr = fmt.Errorf("compacting chain at epoch %d: %w", epoch, err)
+				} else {
+					// Re-root the chain: the next capture diffs against the
+					// compacted epoch. Raw identities are carried over by
+					// the copy, so shard reuse keeps working across it.
+					c.lastMan = newMan
+					res.compacted = newMan.Epoch
+					res.compactVT = c.store.EpochCost(newMan.Epoch).Total
+					c.sealsSinceCompact = 0
+				}
+			}
+			// Reservation lost (a later capture already took epoch+1):
+			// leave the counter tripped and retry at the next seal.
+		}
+	}
+	if c.KeepEpochs > 0 && res.lifecycleErr == nil {
+		gc, err := GCStore(c.store, c.KeepEpochs)
+		res.gc = gc
+		if err != nil {
+			res.lifecycleErr = fmt.Errorf("gc after epoch %d: %w", epoch, err)
+		}
+	}
+}
+
+// reserveEpoch claims the next capture epoch number for the compaction
+// pass. It succeeds only when no capture has taken a number past the
+// just-sealed epoch: epoch numbering must stay in capture order, and a
+// compacted epoch squeezed under captures already numbered above it would
+// seal out of order and re-root the diff chain behind their backs.
+func (c *Coordinator) reserveEpoch(want int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nextEpoch != want {
+		return false
+	}
+	c.nextEpoch++
+	return true
 }
 
 // applyCommitLocked folds a commit's outcome into the history entry it
@@ -686,6 +800,21 @@ func (c *Coordinator) applyCommitLocked(histIdx int, res commitResult) {
 		e.ReusedShards = res.stats.ReusedShards
 		e.FreshBytes = res.stats.FreshBytes
 		e.ReusedBytes = res.stats.ReusedBytes
+	}
+	// Lifecycle outcome applies even when the pass failed part-way (the
+	// epoch itself sealed; whatever was reclaimed before the failure is
+	// real), with the failure surfaced through the run error.
+	e.CompactedEpoch = res.compacted
+	e.CompactVT = res.compactVT
+	if res.gc != nil {
+		e.GCDeletedEpochs = res.gc.DeletedEpochs
+		e.GCDeletedShards = res.gc.DeletedShards
+		e.GCSweptObjects = res.gc.SweptObjects
+		e.GCReclaimedBytes = res.gc.ReclaimedBytes
+		e.GCVT = res.gc.DeleteVT
+	}
+	if res.lifecycleErr != nil && c.err == nil {
+		c.err = fmt.Errorf("ckpt: lifecycle pass after epoch %d: %w", res.epoch, res.lifecycleErr)
 	}
 	if histIdx == len(c.history)-1 {
 		c.stats = *e

@@ -322,6 +322,26 @@ func (w *countWriter) Write(p []byte) (int, error) {
 	return w.dst.Write(p)
 }
 
+// copyShardVerified streams one stored shard blob from src to dst in
+// bounded chunks, checking the copied bytes against the manifest identity
+// (stored size and FNV-1a checksum over the compressed blob). The check is
+// what makes compaction safe to follow with GC: the copy must be proven
+// byte-identical BEFORE the new epoch seals and the original becomes
+// deletable — a silently corrupt copy would otherwise turn into data loss
+// the moment the source epoch is reclaimed.
+func copyShardVerified(dst io.Writer, src io.Reader, wantSize int64, wantSum uint64) error {
+	cw := newCountWriter(dst)
+	buf := make([]byte, shardChunkBytes)
+	if _, err := io.CopyBuffer(cw, src, buf); err != nil {
+		return err
+	}
+	if cw.n != wantSize || cw.h.Sum64() != wantSum {
+		return fmt.Errorf("copied shard does not match its manifest identity (got %d bytes sum %#x, want %d bytes sum %#x)",
+			cw.n, cw.h.Sum64(), wantSize, wantSum)
+	}
+	return nil
+}
+
 // chunkWriters pools the fixed-size staging buffers between the compressor
 // and the store writer (see shardChunkBytes).
 var chunkWriters = sync.Pool{}

@@ -1,0 +1,276 @@
+package ckpt
+
+// Chain lifecycle management: epoch garbage collection and chain
+// compaction.
+//
+// Incremental v3 chains grow without bound — every sealed epoch lives
+// forever, restart read fan-in grows with chain depth, and aborted captures
+// leave dead bytes behind. A job checkpointing every few minutes for days
+// is only viable with a retention policy:
+//
+//   - GCStore deletes every sealed epoch that no retained manifest reaches
+//     (liveness traced transitively through ShardInfo.RefEpoch), plus any
+//     unsealed-epoch debris left by aborted commits.
+//   - CompactChain rewrites a deep chain's newest epoch into a fresh
+//     self-contained epoch by streaming verified copies of every resolved
+//     shard, restoring the depth-1 restart read cost and making every
+//     older epoch GC-able.
+//
+// The two compose: compact first (the new epoch references nothing), then
+// GC with keep=1 reclaims the entire old chain.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GCStats reports what one GCStore pass did.
+type GCStats struct {
+	// LiveEpochs is the retained set: the newest `keep` sealed epochs plus
+	// every older epoch transitively referenced by a live manifest.
+	LiveEpochs []int
+	// DeletedEpochs and DeletedShards count the dead sealed epochs removed
+	// and the fresh shard objects they physically held.
+	DeletedEpochs int
+	DeletedShards int
+	// SweptObjects counts unsealed-debris files (aborted-commit leftovers)
+	// removed alongside the dead epochs.
+	SweptObjects int
+	// ReclaimedBytes is the total stored bytes freed (shards, manifests,
+	// and debris).
+	ReclaimedBytes int64
+	// DeleteVT is the modeled virtual time of the deletion traffic, when
+	// the store prices it (ModelStore); zero otherwise. Deletes are
+	// metadata operations — the cost scales with object count, not bytes.
+	DeleteVT float64
+}
+
+// epochDeleter matches stores that can price deletion traffic (ModelStore).
+type epochDeleter interface {
+	DeleteCost(objects int) float64
+}
+
+// GCStore reclaims every dead epoch of a store, keeping the newest `keep`
+// sealed epochs and everything they transitively reference.
+//
+// Liveness: an epoch is live if it is one of the `keep` newest sealed
+// epochs, or if any live epoch's manifest references it through a shard's
+// RefEpoch. The closure is transitive so that every sealed epoch left
+// behind still passes VerifyStore — a live epoch's own manifest must keep
+// resolving even when the restart set of the retained heads never touches
+// it. A live epoch keeps all of its objects (its own manifest references
+// every fresh shard it holds), so reclamation is whole-epoch: dead epochs
+// are deleted newest-first via DeleteEpoch, which unseals (removes the
+// manifest of) each epoch before its shards — a crash mid-GC leaves
+// unsealed debris for the next pass, never a sealed manifest with missing
+// bytes. Newest-first matters too: manifests only reference older epochs,
+// so no surviving sealed manifest ever dangles mid-pass.
+//
+// Unsealed debris strictly older than the newest sealed epoch is swept in
+// the same pass (an in-flight commit is always numbered above the newest
+// seal, so the sweep cannot race it).
+func GCStore(store Store, keep int) (*GCStats, error) {
+	if keep < 1 {
+		return nil, fmt.Errorf("ckpt: gc must keep at least one epoch (keep=%d)", keep)
+	}
+	epochs, err := store.Epochs()
+	if err != nil {
+		return nil, err
+	}
+	st := &GCStats{}
+	if len(epochs) == 0 {
+		return st, nil
+	}
+
+	sealed := make(map[int]bool, len(epochs))
+	for _, e := range epochs {
+		sealed[e] = true
+	}
+	live := make(map[int]bool)
+	queue := make([]int, 0, keep)
+	retained := epochs
+	if len(retained) > keep {
+		retained = retained[len(retained)-keep:]
+	}
+	for _, e := range retained {
+		live[e] = true
+		queue = append(queue, e)
+	}
+	for len(queue) > 0 {
+		e := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !sealed[e] {
+			// A dangling reference (already-broken chain): nothing sealed
+			// to trace through or delete — VerifyStore attributes it.
+			continue
+		}
+		man, err := store.GetManifest(e)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: gc tracing liveness: %w", err)
+		}
+		for i := range man.Shards {
+			if ref := man.Shards[i].RefEpoch; !live[ref] {
+				live[ref] = true
+				queue = append(queue, ref)
+			}
+		}
+	}
+	for _, e := range epochs {
+		if live[e] {
+			st.LiveEpochs = append(st.LiveEpochs, e)
+		}
+	}
+	sort.Ints(st.LiveEpochs)
+
+	// Dead epochs, newest first (see above). Their manifests are read
+	// BEFORE any deletion so the object count is known even though the
+	// manifest is the first thing DeleteEpoch removes.
+	objects := 0
+	for i := len(epochs) - 1; i >= 0; i-- {
+		e := epochs[i]
+		if live[e] {
+			continue
+		}
+		fresh := 0
+		if man, err := store.GetManifest(e); err == nil {
+			for j := range man.Shards {
+				if man.Shards[j].RefEpoch == e {
+					fresh++
+				}
+			}
+		}
+		n, err := store.DeleteEpoch(e)
+		st.ReclaimedBytes += n
+		if err != nil {
+			return st, fmt.Errorf("ckpt: gc deleting epoch %d: %w", e, err)
+		}
+		st.DeletedEpochs++
+		st.DeletedShards += fresh
+		objects += fresh + 1 // shards + manifest
+	}
+
+	if sw, ok := store.(Sweeper); ok {
+		bytes, swept, err := sw.SweepUnsealed(epochs[len(epochs)-1])
+		st.ReclaimedBytes += bytes
+		st.SweptObjects += swept
+		objects += swept
+		if err != nil {
+			return st, fmt.Errorf("ckpt: gc sweeping unsealed debris: %w", err)
+		}
+	}
+	if d, ok := store.(epochDeleter); ok {
+		st.DeleteVT = d.DeleteCost(objects)
+	}
+	return st, nil
+}
+
+// CompactChain rewrites one sealed epoch's resolved shard set into a fresh
+// self-contained epoch: every shard the manifest references — wherever in
+// the chain its bytes physically live — is streamed into the new epoch as
+// a verified byte-identical copy, and the new manifest carries no
+// cross-epoch references (Parent -1, every RefEpoch its own). Restart from
+// the compacted epoch therefore reads at depth 1, and a following
+// GCStore(store, 1) can reclaim the entire old chain.
+//
+// The copy is verbatim at the stored-blob level (size and checksum are
+// checked against the manifest before the new epoch seals), so the restart
+// image — and its digest — is bit-identical to restarting from the source
+// epoch. Raw identities (RawSum/RawSize) are carried over unchanged, which
+// keeps incremental reuse working when the coordinator re-roots a running
+// chain onto the compacted epoch.
+//
+// budget bounds the copy fan-out's in-flight memory exactly as it bounds
+// the commit stage's (nil selects the default capacity). An epoch that is
+// already self-contained is returned unchanged with nil stats (no-op).
+// On any copy or verification failure nothing is sealed and the partial
+// new epoch is removed.
+func CompactChain(store Store, epoch int, budget *StreamBudget) (*Manifest, *CommitStats, error) {
+	man, err := store.GetManifest(epoch)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := checkRefsSealed(store, man); err != nil {
+		return nil, nil, err
+	}
+	selfContained := true
+	for i := range man.Shards {
+		if man.Shards[i].RefEpoch != man.Epoch {
+			selfContained = false
+			break
+		}
+	}
+	if selfContained {
+		return man, nil, nil
+	}
+	latest, err := LatestEpoch(store)
+	if err != nil {
+		return nil, nil, err
+	}
+	newEpoch := latest + 1
+	if budget == nil {
+		budget = NewStreamBudget(0)
+	}
+
+	newMan := &Manifest{
+		Algorithm:          man.Algorithm,
+		Ranks:              man.Ranks,
+		PPN:                man.PPN,
+		CaptureVT:          man.CaptureVT,
+		PaddedBytesPerRank: man.PaddedBytesPerRank,
+		Shards:             make([]ShardInfo, len(man.Shards)),
+		Version:            ManifestV3,
+		Epoch:              newEpoch,
+		Parent:             -1,
+		Tier:               man.Tier, // ModelStore re-stamps at seal
+	}
+	st := &CommitStats{Epoch: newEpoch}
+	errs := make([]error, len(man.Shards))
+	fanOut(len(man.Shards), encodeWorkers(len(man.Shards)), func(i int) {
+		errs[i] = func() error {
+			si := man.Shards[i]
+			budget.Acquire(shardStreamFootprint)
+			defer budget.Release(shardStreamFootprint)
+			src, err := store.OpenShard(si.RefEpoch, si.Rank)
+			if err != nil {
+				return err
+			}
+			defer src.Close()
+			dst, err := store.PutShardStream(newEpoch, si.Rank)
+			if err != nil {
+				return err
+			}
+			if err := copyShardVerified(dst, src, si.Size, si.Checksum); err != nil {
+				dst.Close()
+				return fmt.Errorf("ckpt: compacting epoch %d rank %d (shard stored in epoch %d): %w",
+					epoch, si.Rank, si.RefEpoch, err)
+			}
+			if err := dst.Close(); err != nil {
+				return err
+			}
+			si.RefEpoch = newEpoch
+			si.Offset = 0
+			newMan.Shards[i] = si
+			return nil
+		}()
+	})
+	for _, err := range errs {
+		if err != nil {
+			// Nothing sealed: remove the partial epoch's debris (and, on a
+			// ModelStore, the bytes metered toward it).
+			if ms, ok := store.(interface{ AbortEpoch(int) }); ok {
+				ms.AbortEpoch(newEpoch)
+			} else {
+				store.DeleteEpoch(newEpoch)
+			}
+			return nil, nil, err
+		}
+	}
+	for i := range newMan.Shards {
+		st.FreshShards++
+		st.FreshBytes += newMan.Shards[i].Size
+	}
+	if err := store.PutManifest(newEpoch, newMan); err != nil {
+		return nil, nil, err
+	}
+	return newMan, st, nil
+}

@@ -59,6 +59,29 @@ type Store interface {
 	GetManifest(epoch int) (*Manifest, error)
 	// Epochs lists sealed epochs in ascending order.
 	Epochs() ([]int, error)
+	// DeleteShard removes one shard object, returning the stored bytes
+	// reclaimed. Deleting an absent shard is not an error (deletion is
+	// idempotent so a GC pass interrupted mid-epoch can simply run again).
+	DeleteShard(epoch, rank int) (int64, error)
+	// DeleteEpoch removes an entire epoch — its manifest (unsealing it
+	// FIRST, so a crash mid-delete can never leave a sealed manifest whose
+	// shard bytes are gone) and then its shard objects — returning the
+	// total bytes reclaimed. Deleting an absent epoch reclaims zero.
+	DeleteEpoch(epoch int) (int64, error)
+}
+
+// Sweeper is the optional debris-collection side of a Store: removal of
+// unsealed (aborted) epoch leftovers that Epochs() hides but that otherwise
+// accumulate forever. All three built-in stores implement it; GCStore uses
+// it when present.
+type Sweeper interface {
+	// SweepUnsealed removes every unsealed epoch's leftovers with an epoch
+	// number strictly below `before`, returning the bytes and object count
+	// reclaimed. The bound is what makes the sweep safe to run while a
+	// commit is in flight: an in-flight epoch is always numbered at or
+	// above the newest sealed epoch + 1, while failed-commit debris is
+	// always numbered below a later successful seal.
+	SweepUnsealed(before int) (bytes int64, objects int, err error)
 }
 
 // putShardBlob adapts a blob write onto a store's streaming API.
@@ -194,6 +217,54 @@ func (s *MemStore) Epochs() ([]int, error) {
 	return out, nil
 }
 
+// DeleteShard implements Store.
+func (s *MemStore) DeleteShard(epoch, rank int) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := [2]int{epoch, rank}
+	n := int64(len(s.shards[key]))
+	delete(s.shards, key)
+	return n, nil
+}
+
+// DeleteEpoch implements Store: the manifest entry goes first (the epoch
+// stops being sealed), then its shard objects.
+func (s *MemStore) DeleteEpoch(epoch int) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reclaimed := int64(len(s.mans[epoch]))
+	delete(s.mans, epoch)
+	for key, blob := range s.shards {
+		if key[0] == epoch {
+			reclaimed += int64(len(blob))
+			delete(s.shards, key)
+		}
+	}
+	return reclaimed, nil
+}
+
+// SweepUnsealed implements Sweeper: shard objects parked under an epoch
+// that never sealed (and never will — it is numbered below a later seal)
+// are aborted-commit debris.
+func (s *MemStore) SweepUnsealed(before int) (int64, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var bytes int64
+	var objects int
+	for key, blob := range s.shards {
+		if key[0] >= before {
+			continue
+		}
+		if _, sealed := s.mans[key[0]]; sealed {
+			continue
+		}
+		bytes += int64(len(blob))
+		objects++
+		delete(s.shards, key)
+	}
+	return bytes, objects, nil
+}
+
 // --------------------------------------------------------------- FileStore
 
 // FileStore keeps each epoch in its own directory:
@@ -301,6 +372,23 @@ func (s *FileStore) GetManifest(epoch int) (*Manifest, error) {
 
 // Epochs implements Store.
 func (s *FileStore) Epochs() ([]int, error) {
+	all, err := s.epochDirs()
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, e := range all {
+		if _, err := os.Stat(s.ManifestPath(e)); err != nil {
+			continue // unsealed (aborted) epoch
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// epochDirs lists every epoch directory under the root, sealed or not, in
+// ascending order.
+func (s *FileStore) epochDirs() ([]int, error) {
 	ents, err := os.ReadDir(s.Root)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: listing store root: %w", err)
@@ -320,13 +408,101 @@ func (s *FileStore) Epochs() ([]int, error) {
 		if ent.Name() != fmt.Sprintf("epoch-%06d", e) {
 			continue
 		}
-		if _, err := os.Stat(s.ManifestPath(e)); err != nil {
-			continue // unsealed (aborted) epoch
-		}
 		out = append(out, e)
 	}
 	sort.Ints(out)
 	return out, nil
+}
+
+// DeleteShard implements Store.
+func (s *FileStore) DeleteShard(epoch, rank int) (int64, error) {
+	n, _, err := removeSized(s.ShardPath(epoch, rank))
+	return n, err
+}
+
+// DeleteEpoch implements Store. Order is the crash-safety contract: the
+// manifest is removed FIRST, unsealing the epoch, and only then its shard
+// files and directory. A crash at any point leaves either the sealed epoch
+// fully intact or an unsealed directory of debris (invisible to Epochs and
+// reclaimed by SweepUnsealed) — never a sealed manifest with missing bytes.
+func (s *FileStore) DeleteEpoch(epoch int) (int64, error) {
+	reclaimed, _, err := removeSized(s.ManifestPath(epoch))
+	if err != nil {
+		return reclaimed, err
+	}
+	bytes, _, err := s.removeUnsealedDir(epoch)
+	return reclaimed + bytes, err
+}
+
+// SweepUnsealed implements Sweeper.
+func (s *FileStore) SweepUnsealed(before int) (int64, int, error) {
+	all, err := s.epochDirs()
+	if err != nil {
+		return 0, 0, err
+	}
+	var bytes int64
+	var objects int
+	for _, e := range all {
+		if e >= before {
+			continue
+		}
+		if _, err := os.Stat(s.ManifestPath(e)); err == nil {
+			continue // sealed
+		}
+		b, n, err := s.removeUnsealedDir(e)
+		bytes += b
+		objects += n
+		if err != nil {
+			return bytes, objects, err
+		}
+	}
+	return bytes, objects, nil
+}
+
+// removeUnsealedDir deletes every file in an (already unsealed) epoch
+// directory, then the directory itself, tallying what was reclaimed.
+func (s *FileStore) removeUnsealedDir(epoch int) (int64, int, error) {
+	dir := s.EpochDir(epoch)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("ckpt: listing epoch %d dir: %w", epoch, err)
+	}
+	var bytes int64
+	var objects int
+	for _, ent := range ents {
+		n, existed, err := removeSized(filepath.Join(dir, ent.Name()))
+		bytes += n
+		if existed {
+			objects++
+		}
+		if err != nil {
+			return bytes, objects, err
+		}
+	}
+	if err := os.Remove(dir); err != nil && !os.IsNotExist(err) {
+		return bytes, objects, fmt.Errorf("ckpt: removing epoch %d dir: %w", epoch, err)
+	}
+	return bytes, objects, nil
+}
+
+// removeSized deletes one file, returning its size and whether it existed.
+// An already-absent file reclaims zero bytes and is not an error (deletion
+// is idempotent).
+func removeSized(path string) (int64, bool, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, nil
+		}
+		return 0, false, fmt.Errorf("ckpt: deleting %s: %w", path, err)
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return 0, true, fmt.Errorf("ckpt: deleting %s: %w", path, err)
+	}
+	return fi.Size(), true, nil
 }
 
 // -------------------------------------------------------------- ModelStore
@@ -363,8 +539,11 @@ type ModelStore struct {
 	// incremental win.
 	PadShardBytes int64
 
-	mu      sync.Mutex
-	pending int64 // bytes accumulated toward the next sealed epoch
+	mu sync.Mutex
+	// pending is keyed by epoch: with double-buffered background commits
+	// two epochs meter bytes concurrently, and aborting one must not
+	// discard (or a seal consume) the bytes accumulated for the other.
+	pending map[int]int64
 	costs   map[int]netmodel.WriteCost
 	drains  map[int]float64 // burst-tier epochs: background PFS drain time
 }
@@ -374,8 +553,9 @@ type ModelStore struct {
 func NewModelStore(inner Store, model *netmodel.Model, nodes int) *ModelStore {
 	return &ModelStore{
 		Inner: inner, Model: model, Nodes: nodes,
-		costs:  make(map[int]netmodel.WriteCost),
-		drains: make(map[int]float64),
+		pending: make(map[int]int64),
+		costs:   make(map[int]netmodel.WriteCost),
+		drains:  make(map[int]float64),
 	}
 }
 
@@ -386,6 +566,7 @@ func NewModelStore(inner Store, model *netmodel.Model, nodes int) *ModelStore {
 type meteredShardWriter struct {
 	s      *ModelStore
 	inner  io.WriteCloser
+	epoch  int
 	n      int64
 	closed bool
 }
@@ -409,7 +590,7 @@ func (w *meteredShardWriter) Close() error {
 		charged = w.s.PadShardBytes
 	}
 	w.s.mu.Lock()
-	w.s.pending += charged
+	w.s.pending[w.epoch] += charged
 	w.s.mu.Unlock()
 	return nil
 }
@@ -420,7 +601,7 @@ func (s *ModelStore) PutShardStream(epoch, rank int) (io.WriteCloser, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &meteredShardWriter{s: s, inner: w}, nil
+	return &meteredShardWriter{s: s, inner: w, epoch: epoch}, nil
 }
 
 // OpenShard implements Store.
@@ -452,11 +633,12 @@ func (s *ModelStore) PutManifest(epoch int, man *Manifest) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.costs[epoch] = s.Model.TierWriteCost(tier, s.pending, s.Nodes, s.Overlapped)
+	pending := s.pending[epoch]
+	s.costs[epoch] = s.Model.TierWriteCost(tier, pending, s.Nodes, s.Overlapped)
 	if tier != netmodel.TierPFS {
-		s.drains[epoch] = s.Model.TierWriteTime(netmodel.TierPFS, s.pending, s.Nodes)
+		s.drains[epoch] = s.Model.TierWriteTime(netmodel.TierPFS, pending, s.Nodes)
 	}
-	s.pending = 0
+	delete(s.pending, epoch)
 	return nil
 }
 
@@ -465,6 +647,40 @@ func (s *ModelStore) GetManifest(epoch int) (*Manifest, error) { return s.Inner.
 
 // Epochs implements Store.
 func (s *ModelStore) Epochs() ([]int, error) { return s.Inner.Epochs() }
+
+// DeleteShard implements Store. Deletion is metadata traffic; DeleteCost
+// prices it per object, not per byte.
+func (s *ModelStore) DeleteShard(epoch, rank int) (int64, error) {
+	return s.Inner.DeleteShard(epoch, rank)
+}
+
+// DeleteEpoch implements Store, dropping the epoch's recorded cost and
+// drain along with its bytes so a later epoch reusing the number (after a
+// chain reset) cannot inherit a stale price.
+func (s *ModelStore) DeleteEpoch(epoch int) (int64, error) {
+	n, err := s.Inner.DeleteEpoch(epoch)
+	s.mu.Lock()
+	delete(s.costs, epoch)
+	delete(s.drains, epoch)
+	s.mu.Unlock()
+	return n, err
+}
+
+// SweepUnsealed implements Sweeper when the inner store does; on a bare
+// inner store it reclaims nothing.
+func (s *ModelStore) SweepUnsealed(before int) (int64, int, error) {
+	if sw, ok := s.Inner.(Sweeper); ok {
+		return sw.SweepUnsealed(before)
+	}
+	return 0, 0, nil
+}
+
+// DeleteCost models reclaiming `objects` store objects on the configured
+// tier: one open plus a per-object metadata operation (priced as a Seek).
+// Deleted bytes never travel, so bytes do not appear in the cost.
+func (s *ModelStore) DeleteCost(objects int) float64 {
+	return s.Model.TierDeleteTime(s.Model.EffectiveTier(s.Tier), objects)
+}
 
 // EpochCost returns the modeled write cost of a sealed epoch (zero-valued
 // if the epoch was not committed through this ModelStore instance).
@@ -484,12 +700,19 @@ func (s *ModelStore) EpochDrain(epoch int) float64 {
 	return s.drains[epoch]
 }
 
-// AbortEpoch discards bytes metered toward an epoch whose commit failed
-// before sealing, so they are not charged to the next sealed epoch's cost.
-func (s *ModelStore) AbortEpoch() {
+// AbortEpoch discards bytes metered toward one epoch whose commit failed
+// before sealing, so they are not charged to a later sealed epoch's cost.
+// Only the named epoch's meter is cleared: under double-buffered background
+// commits a concurrent in-flight epoch keeps the bytes already metered for
+// it. The aborted epoch's partial shard objects (debris the sealed-last
+// contract hides but nothing else would remove) are deleted from the inner
+// store best-effort — the epoch was never sealed, so there is no manifest
+// ordering to respect.
+func (s *ModelStore) AbortEpoch(epoch int) {
 	s.mu.Lock()
-	s.pending = 0
+	delete(s.pending, epoch)
 	s.mu.Unlock()
+	s.Inner.DeleteEpoch(epoch)
 }
 
 // ------------------------------------------------------------ commit stage
@@ -676,14 +899,17 @@ func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sum
 
 // ------------------------------------------------------------- load/verify
 
-// LatestEpoch returns the store's newest sealed epoch.
+// LatestEpoch returns the store's newest sealed epoch, or -1 with an error
+// when the store is unreadable or holds no sealed epochs. The -1 is
+// deliberate: epoch 0 is a valid epoch, so a zero-valued error return would
+// alias the chain's first epoch for any caller that drops the error.
 func LatestEpoch(store Store) (int, error) {
 	epochs, err := store.Epochs()
 	if err != nil {
-		return 0, err
+		return -1, err
 	}
 	if len(epochs) == 0 {
-		return 0, fmt.Errorf("ckpt: store holds no sealed epochs")
+		return -1, fmt.Errorf("ckpt: store holds no sealed epochs")
 	}
 	return epochs[len(epochs)-1], nil
 }

@@ -204,6 +204,26 @@ func TestIncrementalChain(t *testing.T) {
 	}
 }
 
+// TestLifecycle: the GC + compaction conformance sweep — compaction must
+// restore the depth-1 restart read without changing the restored state, GC
+// must reclaim exactly the dead chain while transitive liveness protects
+// every referenced epoch, and a dangling reference must be attributed.
+func TestLifecycle(t *testing.T) {
+	rpt, err := VerifyLifecycle(DefaultChainWorkload, rt.AlgoCC, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("lifecycle: %s", rpt)
+	if rpt.Epochs < 5 {
+		t.Fatalf("only %d epochs in the pre-compaction chain", rpt.Epochs)
+	}
+	if !testing.Short() {
+		if _, err := VerifyLifecycle(DefaultChainWorkload, rt.Algo2PC, Options{Logf: t.Logf}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestFaultInjection: killing a rank mid-drain (crash and silent hang) and
 // mid-capture (snapshot failure) must abort the run with attributable
 // diagnostics — the coordinator's failure paths, not a wedge.

@@ -170,6 +170,19 @@ func (m *Model) CheckpointWriteCost(totalBytes int64, nodes int, overlapped bool
 	return m.TierWriteCost(TierPFS, totalBytes, nodes, overlapped)
 }
 
+// TierDeleteTime models reclaiming `objects` checkpoint objects (shards and
+// manifests) from one storage tier: a single open/metadata round plus one
+// per-object remove, priced at the tier's Seek (deletes are directory-entry
+// operations on the metadata server — the stored bytes never travel, so the
+// cost is independent of object size). Zero objects cost nothing.
+func (m *Model) TierDeleteTime(t StorageTier, objects int) float64 {
+	if objects <= 0 {
+		return 0
+	}
+	sp := m.Tier(t)
+	return sp.OpenLatency + float64(objects)*sp.Seek
+}
+
 // EpochRead is one epoch's contribution to a restart's resolved read set:
 // how many shard objects the restarting job must fetch from that epoch and
 // how many bytes they hold. ckpt.ReadSetOf derives the set from a manifest.

@@ -1,0 +1,146 @@
+package rt
+
+// Tests for the CkptPlan retention policy: KeepEpochs/CompactEvery run GC
+// and chain compaction from the coordinator's background commit stage, so
+// long periodic runs keep a bounded store and a depth-1 restart read —
+// while a GC pass can never delete an epoch a concurrent in-flight commit
+// is about to reference (the lifecycle pass runs inside the commit ticket,
+// after the seal and before the next commit may start).
+
+import (
+	"testing"
+
+	"mana/internal/ckpt"
+)
+
+// TestLifecyclePolicyBoundsStore: a long low-churn periodic run with
+// KeepEpochs+CompactEvery must (a) complete with the same state as the
+// unpoliced run, (b) report compactions and reclaimed bytes in the history,
+// (c) leave a store that verifies clean and holds only a bounded number of
+// epochs, and (d) restart digest-identical from the latest survivor at a
+// depth-1 read.
+func TestLifecyclePolicyBoundsStore(t *testing.T) {
+	const iters = 24
+	golden, err := Run(testConfig(8, AlgoCC), func(rank int) App { return newFrostApp(rank, iters) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := ckpt.NewMemStore()
+	cfg := testConfig(8, AlgoCC)
+	cfg.Checkpoint = &CkptPlan{
+		AtStep: 4, Every: 1e-6, Mode: ckpt.ContinueAfterCapture,
+		Store: store, Async: true, Incremental: true,
+		PaddedBytesPerRank: 32 << 20,
+		KeepEpochs:         1,
+		CompactEvery:       2,
+	}
+	rep, err := Run(cfg, func(rank int) App { return newFrostApp(rank, iters) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatal("policed run did not complete")
+	}
+	if rep.StateDigest != golden.StateDigest {
+		t.Fatal("retention policy changed the computation")
+	}
+	if len(rep.CheckpointHistory) < 5 {
+		t.Fatalf("only %d chained captures", len(rep.CheckpointHistory))
+	}
+
+	var compactions int
+	var reclaimed int64
+	for i, st := range rep.CheckpointHistory {
+		if st.CompactedEpoch >= 0 {
+			compactions++
+			if st.CompactedEpoch <= st.Epoch {
+				t.Fatalf("capture %d compacted into epoch %d, not after its own epoch %d",
+					i, st.CompactedEpoch, st.Epoch)
+			}
+			if st.CompactVT <= 0 {
+				t.Fatalf("capture %d's compaction has no modeled cost: %+v", i, st)
+			}
+		}
+		reclaimed += st.GCReclaimedBytes
+		if st.GCDeletedEpochs > 0 && st.GCVT <= 0 {
+			t.Fatalf("capture %d deleted epochs without a modeled delete cost: %+v", i, st)
+		}
+	}
+	if compactions == 0 {
+		t.Fatal("CompactEvery=2 never compacted")
+	}
+	if reclaimed <= 0 {
+		t.Fatal("KeepEpochs=1 never reclaimed a byte")
+	}
+
+	// The surviving store: bounded, clean, and restartable at depth 1.
+	epochs, err := store.Epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// keep=1 of sealed epochs plus whatever they transitively reference;
+	// with compaction interleaved the tail stays small, never the whole
+	// chain (one epoch per capture plus one per compaction).
+	if len(epochs) >= len(rep.CheckpointHistory) {
+		t.Fatalf("store holds %d epochs after %d captures — retention never bit", len(epochs), len(rep.CheckpointHistory))
+	}
+	if faults, err := ckpt.VerifyStore(store); err != nil || len(faults) != 0 {
+		t.Fatalf("policed store does not verify: faults=%v err=%v", faults, err)
+	}
+	latest, err := ckpt.LatestEpoch(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrep, err := RestartFromStore(testConfig(8, AlgoCC), store, latest, func(rank int) App { return newFrostApp(rank, iters) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.StateDigest != golden.StateDigest {
+		t.Fatal("restart from the policed store diverged")
+	}
+}
+
+// TestLifecycleGCNeverStrandsInFlightCommit: with background (async)
+// commits, the epoch sealed by commit k is the diff parent of in-flight
+// commit k+1. An aggressive keep=1 GC runs after every seal, racing the
+// pipeline — every sealed epoch must still resolve its references (GC
+// inside the commit ticket always retains the next commit's parent), and
+// every restart must reproduce the golden state.
+func TestLifecycleGCNeverStrandsInFlightCommit(t *testing.T) {
+	const iters = 24
+	golden, err := Run(testConfig(8, AlgoCC), func(rank int) App { return newFrostApp(rank, iters) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := ckpt.NewMemStore()
+	cfg := testConfig(8, AlgoCC)
+	cfg.Checkpoint = &CkptPlan{
+		AtStep: 4, Every: 1e-6, Mode: ckpt.ContinueAfterCapture,
+		Store: store, Async: true, Incremental: true,
+		KeepEpochs: 1, // no compaction: GC alone races the commit pipeline
+	}
+	rep, err := Run(cfg, func(rank int) App { return newFrostApp(rank, iters) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || len(rep.CheckpointHistory) < 5 {
+		t.Fatalf("bad policed run: completed=%v captures=%d", rep.Completed, len(rep.CheckpointHistory))
+	}
+	if faults, err := ckpt.VerifyStore(store); err != nil || len(faults) != 0 {
+		t.Fatalf("gc stranded a commit's parent: faults=%v err=%v", faults, err)
+	}
+	epochs, err := store.Epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range epochs {
+		rrep, err := RestartFromStore(testConfig(8, AlgoCC), store, e, func(rank int) App { return newFrostApp(rank, iters) })
+		if err != nil {
+			t.Fatalf("restart from surviving epoch %d: %v", e, err)
+		}
+		if rrep.StateDigest != golden.StateDigest {
+			t.Fatalf("restart from surviving epoch %d diverged", e)
+		}
+	}
+}

@@ -81,6 +81,17 @@ type CkptPlan struct {
 	// high-water mark is reported per capture as
 	// CheckpointStats.PeakEncodeBytes.
 	StreamBudgetBytes int64
+	// KeepEpochs, when positive, garbage-collects the store after every
+	// sealed epoch, retaining the newest KeepEpochs epochs plus everything
+	// their manifests transitively reference (ckpt.GCStore). Reclaimed
+	// bytes are reported per capture in CheckpointStats. Requires Store.
+	KeepEpochs int
+	// CompactEvery, when positive, compacts the chain after every
+	// CompactEvery-th seal: the newest epoch is rewritten as a fresh
+	// self-contained epoch (ckpt.CompactChain), bounding the restart read
+	// fan-in (RestartReadVT) no matter how deep the incremental chain
+	// grows, and making the old chain reclaimable by KeepEpochs.
+	CompactEvery int
 }
 
 // Config describes one job.
@@ -202,9 +213,12 @@ func newCoordinator(w *mpi.World, plan *CkptPlan) (*ckpt.Coordinator, error) {
 		coord.Incremental = plan.Incremental
 		coord.Tier = plan.Tier
 		coord.StreamBudgetBytes = plan.StreamBudgetBytes
+		coord.KeepEpochs = plan.KeepEpochs
+		coord.CompactEvery = plan.CompactEvery
 		store := plan.Store
-		if store == nil && plan.Incremental {
-			// Incremental reuse needs epochs to diff against; default to an
+		if store == nil && (plan.Incremental || plan.KeepEpochs > 0 || plan.CompactEvery > 0) {
+			// Incremental reuse needs epochs to diff against (and the
+			// lifecycle policies need epochs to manage); default to an
 			// in-memory store when the plan names none.
 			store = ckpt.NewMemStore()
 		}

@@ -107,6 +107,15 @@
 // mid-capture and asserts the coordinator aborts with diagnostics instead
 // of wedging.
 //
+// Chains do not grow forever: CkptPlan.KeepEpochs garbage-collects dead
+// epochs after every seal (liveness traced through the manifests' shard
+// references; GCStore), CkptPlan.CompactEvery periodically rewrites the
+// chain head as a fresh self-contained epoch (CompactChain), bounding the
+// restart read fan-in at depth 1, and aborted-commit debris is swept along
+// the way. The ccimg gc and compact subcommands run both offline, and the
+// conformance lifecycle leg (ccverify -lifecycle) asserts restart digests
+// survive compaction + GC unchanged.
+//
 // # Storage tiers and the failure model
 //
 // Checkpoint writes are charged to a storage tier (CkptPlan.Tier): the
@@ -164,6 +173,8 @@ type (
 	ModelStore = ckpt.ModelStore
 	// StoreFault names one damaged shard found by VerifyStore.
 	StoreFault = ckpt.StoreFault
+	// GCStats reports what one GCStore pass reclaimed.
+	GCStats = ckpt.GCStats
 	// CheckpointStats records one checkpoint's drain and I/O costs.
 	CheckpointStats = ckpt.CheckpointStats
 	// Params holds the network/storage model constants.
@@ -271,8 +282,24 @@ func NewFileStore(dir string) (*FileStore, error) { return ckpt.NewFileStore(dir
 // NewMemStore creates an in-memory checkpoint store.
 func NewMemStore() *MemStore { return ckpt.NewMemStore() }
 
-// LatestEpoch returns a store's newest sealed epoch.
+// LatestEpoch returns a store's newest sealed epoch, or -1 with an error
+// when the store is unreadable or empty (epoch 0 is valid, so the error
+// return must not alias it).
 func LatestEpoch(store Store) (int, error) { return ckpt.LatestEpoch(store) }
+
+// GCStore reclaims a store's dead epochs, keeping the newest `keep` sealed
+// epochs plus everything their manifests transitively reference, and
+// sweeping aborted-commit debris.
+func GCStore(store Store, keep int) (*GCStats, error) { return ckpt.GCStore(store, keep) }
+
+// CompactChain rewrites one sealed epoch's resolved shard set into a fresh
+// self-contained epoch (verified byte-identical copies; restart digest
+// unchanged), restoring the depth-1 restart read cost and making the old
+// chain reclaimable by GCStore.
+func CompactChain(store Store, epoch int) (*Manifest, error) {
+	man, _, err := ckpt.CompactChain(store, epoch, nil)
+	return man, err
+}
 
 // LoadJobImage materializes one store epoch as a job image, resolving and
 // verifying every shard through the reference chain.

@@ -19,6 +19,8 @@ help_of() {
       "$bindir/ccimg" info -h 2>&1 || true
       "$bindir/ccimg" verify -h 2>&1 || true
       "$bindir/ccimg" extract -h 2>&1 || true
+      "$bindir/ccimg" gc -h 2>&1 || true
+      "$bindir/ccimg" compact -h 2>&1 || true
       ;;
     *) "$bindir/$1" -help 2>&1 || true ;;
   esac
