@@ -532,8 +532,12 @@ func runExtract(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := gob.NewEncoder(f).Encode(ri); err != nil {
+			//lint:allow closecheck encode already failed; its error is the one to surface
+			f.Close()
+			return fmt.Errorf("writing %s: %w", *out, err)
+		}
+		if err := f.Close(); err != nil {
 			return fmt.Errorf("writing %s: %w", *out, err)
 		}
 		fmt.Printf("wrote decoded rank %d image to %s\n", *rank, *out)

@@ -240,6 +240,7 @@ func CompactChain(store Store, epoch int, budget *StreamBudget) (*Manifest, *Com
 				return err
 			}
 			if err := copyShardVerified(dst, src, si.Size, si.Checksum); err != nil {
+				//lint:allow closecheck copy already failed; dst is abandoned and the copy error surfaces
 				dst.Close()
 				return fmt.Errorf("ckpt: compacting epoch %d rank %d (shard stored in epoch %d): %w",
 					epoch, si.Rank, si.RefEpoch, err)

@@ -91,6 +91,7 @@ func putShardBlob(s Store, epoch, rank int, blob []byte) error {
 		return err
 	}
 	if _, err := w.Write(blob); err != nil {
+		//lint:allow closecheck write already failed; the write error is the one to surface
 		w.Close()
 		return fmt.Errorf("ckpt: writing epoch %d rank %d shard: %w", epoch, rank, err)
 	}
@@ -859,6 +860,7 @@ func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sum
 			}
 			sw, err := NewShardWriter(ri.Rank, dst)
 			if err != nil {
+				//lint:allow closecheck shard-writer setup failed; dst is abandoned and the setup error surfaces
 				dst.Close()
 				return err
 			}

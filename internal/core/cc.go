@@ -477,7 +477,8 @@ func (r *Rank) AtBoundary(desc *ckpt.Descriptor) ckpt.Outcome {
 type ccState struct {
 	Groups []uint64 // sorted group ids
 	Seqs   []uint64 // Seqs[i] is the sequence number of Groups[i]
-	Seq    map[uint64]uint64
+	//lint:allow gobcanon legacy decode-only field: nil on every encode path, read only when restoring pre-Seqs images
+	Seq map[uint64]uint64
 }
 
 // Snapshot implements ckpt.Protocol.

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BudgetPair enforces the StreamBudget pairing discipline: a call to
+// StreamBudget.Acquire must be matched, in the SAME function scope, by a
+// DEFERRED Release on the same budget. Acquire blocks until bytes fit under
+// the budget, so a leaked acquisition does not fail loudly — it silently
+// shrinks every later commit's concurrency until the pipeline wedges at
+// zero. Only a deferred Release covers all exits (error returns and panics
+// included); a plain Release call leaves every early return leaking, which
+// is why it gets its own, more specific diagnostic.
+func BudgetPair() *Analyzer {
+	return &Analyzer{
+		Name: "budgetpair",
+		Doc:  "StreamBudget.Acquire must be paired with a deferred Release in the same function",
+		Run:  runBudgetPair,
+	}
+}
+
+func runBudgetPair(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range u.Pkgs {
+		for _, file := range pkg.Files {
+			eachFuncScope(file, func(scope ast.Node, decl *ast.FuncDecl) {
+				out = append(out, budgetPairsInScope(u, pkg, scope)...)
+			})
+		}
+	}
+	return out
+}
+
+// budgetCall matches `recv.<name>(...)` where recv is a StreamBudget and
+// returns the receiver expression.
+func budgetCall(info *types.Info, call *ast.CallExpr, name string) (ast.Expr, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	recv := methodRecvNamed(info, call)
+	if recv == nil || recv.Obj().Name() != "StreamBudget" {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// sameBudget reports whether two receiver expressions denote the same
+// budget: identical objects for plain identifiers, identical selector
+// spelling otherwise (c.budget vs c.budget).
+func sameBudget(info *types.Info, a, b ast.Expr) bool {
+	ai, aok := unparen(a).(*ast.Ident)
+	bi, bok := unparen(b).(*ast.Ident)
+	if aok && bok {
+		ao := info.Uses[ai]
+		return ao != nil && ao == info.Uses[bi]
+	}
+	return types.ExprString(unparen(a)) == types.ExprString(unparen(b))
+}
+
+func budgetPairsInScope(u *Unit, pkg *Package, scope ast.Node) []Diagnostic {
+	type site struct {
+		call *ast.CallExpr
+		recv ast.Expr
+	}
+	var acquires []site
+	var releases []site // non-deferred
+	var deferred []site
+	inspectShallow(scope, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			if recv, ok := budgetCall(pkg.Info, s.Call, "Release"); ok {
+				deferred = append(deferred, site{s.Call, recv})
+			}
+			// The defer's own argument expressions may contain calls, but a
+			// deferred Acquire makes no sense and a nested literal is out of
+			// scope either way — don't descend.
+			return false
+		case *ast.CallExpr:
+			if recv, ok := budgetCall(pkg.Info, s, "Acquire"); ok {
+				acquires = append(acquires, site{s, recv})
+			} else if recv, ok := budgetCall(pkg.Info, s, "Release"); ok {
+				releases = append(releases, site{s, recv})
+			}
+		}
+		return true
+	})
+	var out []Diagnostic
+	for _, acq := range acquires {
+		matched := false
+		for _, d := range deferred {
+			if sameBudget(pkg.Info, acq.recv, d.recv) {
+				matched = true
+				break
+			}
+		}
+		if matched {
+			continue
+		}
+		msg := "StreamBudget.Acquire with no Release in this function: every exit path leaks budget and starves later commits"
+		for _, r := range releases {
+			if sameBudget(pkg.Info, acq.recv, r.recv) {
+				msg = "StreamBudget.Acquire paired with a non-deferred Release: an error return or panic between them leaks budget — use `defer " +
+					types.ExprString(unparen(r.recv)) + ".Release(...)`"
+				break
+			}
+		}
+		out = append(out, Diagnostic{
+			Pos:     u.Fset.Position(acq.call.Pos()),
+			Check:   "budgetpair",
+			Message: msg,
+		})
+	}
+	return out
+}

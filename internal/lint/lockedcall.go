@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockedCall enforces the *Locked naming convention: a method whose name
+// ends in "Locked", defined on a type that guards itself with a `mu`
+// mutex field (ckpt.Coordinator is the archetype), asserts "caller holds
+// my receiver's mu". Such a method may only be called from
+//
+//   - another *Locked method of the same type (the lock obligation
+//     propagates to ITS callers), or
+//   - a function scope that itself locks the receiver's mu (a call to
+//     `x.mu.Lock()` on a value of the same type appears in the same
+//     function body; nested function literals are separate scopes, since
+//     they run under their own locking discipline).
+//
+// Anything else is a call that can race the guarded state: exactly the bug
+// class where a capture reads the parked-rank registry while a rank
+// unparks under it.
+func LockedCall() *Analyzer {
+	return &Analyzer{
+		Name: "lockedcall",
+		Doc:  "*Locked methods of mu-guarded types must be called with the receiver's mu held",
+		Run:  runLockedCall,
+	}
+}
+
+func runLockedCall(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range u.Pkgs {
+		for _, file := range pkg.Files {
+			eachFuncScope(file, func(scope ast.Node, decl *ast.FuncDecl) {
+				out = append(out, lockedCallsInScope(u, pkg, scope, decl)...)
+			})
+		}
+	}
+	return out
+}
+
+// lockedCallsInScope flags the unguarded *Locked calls made directly inside
+// one function scope.
+func lockedCallsInScope(u *Unit, pkg *Package, scope ast.Node, decl *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	var checked map[*types.Named]bool // receiver types already proven locked here
+	inspectShallow(scope, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv := methodRecvNamed(pkg.Info, call)
+		if recv == nil || !hasMuField(recv) {
+			return true
+		}
+		fn := calleeFunc(pkg.Info, call)
+		if fn == nil || !strings.HasSuffix(fn.Name(), "Locked") || fn.Name() == "Locked" {
+			return true
+		}
+		// Rule (a): the enclosing scope is itself a *Locked method of the
+		// same type. Only the declared method counts — a function literal
+		// inside it is a separate execution context (it may run after the
+		// method returned and the lock was dropped).
+		if scope == ast.Node(decl) && strings.HasSuffix(decl.Name.Name, "Locked") {
+			if recvNamedOfDecl(pkg.Info, decl) == recv {
+				return true
+			}
+		}
+		// Rule (b): this scope locks a same-typed receiver's mu.
+		if checked == nil {
+			checked = make(map[*types.Named]bool)
+		}
+		locked, seen := checked[recv]
+		if !seen {
+			locked = scopeLocksMu(pkg.Info, scope, recv)
+			checked[recv] = locked
+		}
+		if locked {
+			return true
+		}
+		out = append(out, Diagnostic{
+			Pos:   u.Fset.Position(call.Pos()),
+			Check: "lockedcall",
+			Message: fmt.Sprintf(
+				"call to (*%s).%s from %s, which is neither a *Locked method of %s nor a scope that locks the receiver's mu",
+				recv.Obj().Name(), fn.Name(), scopeLabel(scope, decl), recv.Obj().Name()),
+		})
+		return true
+	})
+	return out
+}
+
+// scopeLocksMu reports whether a function scope's own body (excluding
+// nested literals) contains an `x.mu.Lock()` call with x of the given named
+// type.
+func scopeLocksMu(info *types.Info, scope ast.Node, want *types.Named) bool {
+	found := false
+	inspectShallow(scope, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Shape: <expr>.mu.Lock()
+		lockSel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || lockSel.Sel.Name != "Lock" {
+			return true
+		}
+		muSel, ok := unparen(lockSel.X).(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != "mu" {
+			return true
+		}
+		if tv, ok := info.Types[muSel.X]; ok && namedOf(tv.Type) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// scopeLabel names a scope for diagnostics.
+func scopeLabel(scope ast.Node, decl *ast.FuncDecl) string {
+	if scope == ast.Node(decl) {
+		return decl.Name.Name
+	}
+	return "a function literal in " + decl.Name.Name
+}

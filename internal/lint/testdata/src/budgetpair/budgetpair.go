@@ -1,0 +1,62 @@
+// Package budgetpair exercises the budgetpair analyzer with a local
+// StreamBudget mirroring the ckpt one (the analyzer matches the receiver
+// type by name, so the testdata stays stdlib-only).
+package budgetpair
+
+import (
+	"errors"
+	"sync"
+)
+
+type StreamBudget struct {
+	mu    sync.Mutex
+	inUse int64
+}
+
+func (b *StreamBudget) Acquire(n int64) { b.mu.Lock(); b.inUse += n; b.mu.Unlock() }
+func (b *StreamBudget) Release(n int64) { b.mu.Lock(); b.inUse -= n; b.mu.Unlock() }
+
+var errFail = errors.New("fail")
+
+// paired is the required discipline: a deferred Release covers every exit.
+func paired(b *StreamBudget) {
+	b.Acquire(64)
+	defer b.Release(64)
+}
+
+// leak never releases: flagged.
+func leak(b *StreamBudget) {
+	b.Acquire(64) // want:budgetpair
+}
+
+// nonDeferred releases on the happy path only — the error return leaks:
+// flagged.
+func nonDeferred(b *StreamBudget, fail bool) error {
+	b.Acquire(64) // want:budgetpair
+	if fail {
+		return errFail
+	}
+	b.Release(64)
+	return nil
+}
+
+// twoBudgets must not cross-match: a deferred release of one budget does
+// not cover an acquire of another.
+func twoBudgets(a, b *StreamBudget) {
+	a.Acquire(1)
+	defer a.Release(1)
+	b.Acquire(1) // want:budgetpair
+}
+
+// literalScope: a function literal is its own scope, and this one leaks.
+func literalScope(b *StreamBudget) func() {
+	return func() {
+		b.Acquire(8) // want:budgetpair
+	}
+}
+
+// allowed is suppressed by annotation.
+func allowed(b *StreamBudget) {
+	//lint:allow budgetpair released by the caller through the returned closer
+	b.Acquire(8)
+}

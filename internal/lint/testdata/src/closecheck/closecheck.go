@@ -1,0 +1,61 @@
+// Package closecheck exercises the closecheck analyzer: the error from a
+// streaming writer's Close must be checked.
+package closecheck
+
+import (
+	"io"
+	"os"
+)
+
+// discard drops the Close error of a stream writer: flagged.
+func discard(w io.WriteCloser) {
+	w.Close() // want:closecheck
+}
+
+// deferred drops it via defer: flagged.
+func deferred(w io.WriteCloser) {
+	defer w.Close() // want:closecheck
+}
+
+// blank drops it via blank assignment: flagged.
+func blank(w io.WriteCloser) {
+	_ = w.Close() // want:closecheck
+}
+
+// checked is the required discipline.
+func checked(w io.WriteCloser) error {
+	return w.Close()
+}
+
+// created: files opened for writing are tracked through their object.
+func created(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		f.Close() // want:closecheck
+		return err
+	}
+	return f.Close()
+}
+
+// reader: os.Open'd files are read-side, their Close has no completion
+// semantics — not flagged.
+func reader(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [1]byte
+	_, err = f.Read(buf[:])
+	return err
+}
+
+// allowed is a deliberate abort path, suppressed by annotation.
+func allowed(w io.WriteCloser, err error) error {
+	//lint:allow closecheck write already failed; its error is the one to surface
+	w.Close()
+	return err
+}

@@ -1,0 +1,60 @@
+// Package lockedcall exercises the lockedcall analyzer: calls to *Locked
+// methods of mu-guarded types must come from another *Locked method of the
+// same type or a scope that locks the receiver's mu.
+package lockedcall
+
+import "sync"
+
+type coord struct {
+	mu    sync.Mutex
+	count int
+}
+
+func (c *coord) bumpLocked() { c.count++ }
+
+// otherLocked propagates the lock obligation to its own callers: allowed.
+func (c *coord) otherLocked() { c.bumpLocked() }
+
+// holds locks mu before calling: allowed.
+func (c *coord) holds() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked()
+}
+
+// bare calls without the lock: flagged.
+func (c *coord) bare() {
+	c.bumpLocked() // want:lockedcall
+}
+
+// literal: a function literal inside a locked region is its own scope — it
+// may run after the method returned and the lock was dropped.
+func (c *coord) literal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.bumpLocked() // want:lockedcall
+	}()
+}
+
+// literalLocks: a literal that locks for itself is allowed.
+func (c *coord) literalLocks() {
+	go func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.bumpLocked()
+	}()
+}
+
+// allowed is suppressed by annotation.
+func (c *coord) allowed() {
+	//lint:allow lockedcall single-threaded construction phase, no concurrent access yet
+	c.bumpLocked()
+}
+
+// free has no mu field, so its *Locked methods carry no obligation.
+type free struct{ n int }
+
+func (f *free) tickLocked() { f.n++ }
+
+func (f *free) call() { f.tickLocked() }

@@ -1,0 +1,30 @@
+// Package wallclock exercises the wallclock analyzer: no time.Now, Since,
+// or Until in virtual-time-modeled code.
+package wallclock
+
+import "time"
+
+// Elapsed reads the wall clock twice: both flagged.
+func Elapsed() float64 {
+	start := time.Now() // want:wallclock
+	work()
+	return time.Since(start).Seconds() // want:wallclock
+}
+
+// Remaining reads the clock through Until: flagged.
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want:wallclock
+}
+
+func work() { time.Sleep(0) }
+
+// Allowed is a deliberate host-time measurement.
+func Allowed() time.Time {
+	//lint:allow wallclock deliberate host-time observability
+	return time.Now()
+}
+
+// Compare uses time values without reading the clock: not flagged.
+func Compare(deadline, now time.Time) bool {
+	return now.Before(deadline)
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// Wallclock forbids wall-clock reads (time.Now, time.Since, time.Until) in
+// virtual-time-modeled library code. The whole simulator's determinism —
+// and with it the digest-stability rule that incremental shard reuse and
+// the conformance engine depend on — rests on virtual rank clocks
+// (mpi.Clock) being the only notion of time in the model: one wall-clock
+// read on an encode, commit, or netmodel path makes runs irreproducible.
+//
+// Host-time measurement is still legitimate in two places, and both are
+// out of scope or annotated: package main (CLIs reporting wall time to the
+// operator) is skipped entirely, and deliberate observability sites in
+// library code (CaptureHostSeconds, the deadlock watchdog) carry
+// `//lint:allow wallclock <why>` annotations.
+//
+// scope, when non-nil, overrides the package filter (used by the analyzer
+// self-tests).
+func Wallclock(scope func(pkg *Package) bool) *Analyzer {
+	if scope == nil {
+		scope = func(pkg *Package) bool { return pkg.Pkg.Name() != "main" }
+	}
+	return &Analyzer{
+		Name: "wallclock",
+		Doc:  "no time.Now/Since/Until in virtual-time-modeled code",
+		Run: func(u *Unit) []Diagnostic {
+			var out []Diagnostic
+			for _, pkg := range u.Pkgs {
+				if !scope(pkg) {
+					continue
+				}
+				for _, file := range pkg.Files {
+					ast.Inspect(file, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						fn := calleeFunc(pkg.Info, call)
+						if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+							return true
+						}
+						switch fn.Name() {
+						case "Now", "Since", "Until":
+						default:
+							return true
+						}
+						out = append(out, Diagnostic{
+							Pos:   u.Fset.Position(call.Pos()),
+							Check: "wallclock",
+							Message: fmt.Sprintf(
+								"wall-clock read time.%s in virtual-time-modeled code; model time lives on mpi.Clock — if this deliberately measures host time, annotate `//lint:allow wallclock <why>`",
+								fn.Name()),
+						})
+						return true
+					})
+				}
+			}
+			return out
+		},
+	}
+}

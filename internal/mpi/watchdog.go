@@ -167,6 +167,7 @@ func (w *World) StartWatchdog(stall time.Duration, extra func() string) (stop fu
 		tick := time.NewTicker(interval)
 		defer tick.Stop()
 		last := w.activity.Load()
+		//lint:allow wallclock the watchdog watches host time by design: it detects a wedged simulator
 		lastChange := time.Now()
 		for {
 			select {
@@ -178,9 +179,11 @@ func (w *World) StartWatchdog(stall time.Duration, extra func() string) (stop fu
 				cur := w.activity.Load()
 				if cur != last {
 					last = cur
+					//lint:allow wallclock the watchdog watches host time by design: it detects a wedged simulator
 					lastChange = time.Now()
 					continue
 				}
+				//lint:allow wallclock the watchdog watches host time by design: it detects a wedged simulator
 				if time.Since(lastChange) < stall {
 					continue
 				}

@@ -284,6 +284,41 @@ func TestPropertyVirtualTimeOrdering(t *testing.T) {
 
 var _ = fmt.Sprintf
 
+// FuzzCheckpointRestartTransparent is the native-fuzzing form of the
+// transparency property: the fuzzer owns the schedule seed, the checkpoint
+// fraction, and the algorithm choice, instead of the fixed seed sweep the
+// TestProperty* variants walk. As a plain test it replays the seed corpus;
+// under `go test -fuzz=FuzzCheckpointRestartTransparent ./internal/rt` it
+// explores new schedules (CI runs a short -fuzztime smoke of exactly this).
+func FuzzCheckpointRestartTransparent(f *testing.F) {
+	f.Add(uint64(1), byte(64), true)
+	f.Add(uint64(7), byte(180), false)
+	f.Add(uint64(42), byte(32), true)
+	f.Fuzz(func(t *testing.T, seed uint64, fracByte byte, useCC bool) {
+		const ranks, iters = 4, 20
+		algo, useNB := Algo2PC, false
+		if useCC {
+			algo, useNB = AlgoCC, true
+		}
+		want, base := runFuzz(t, testConfig(ranks, algo), iters, seed, useNB, nil)
+
+		frac := 0.1 + 0.8*float64(fracByte)/255.0
+		cfg := testConfig(ranks, algo)
+		cfg.Checkpoint = &CkptPlan{AtVT: base.RuntimeVT * frac, Mode: ckpt.ExitAfterCapture}
+		_, rep := runFuzz(t, cfg, iters, seed, useNB, nil)
+		if rep.Image == nil {
+			t.Skip("job finished before the checkpoint request landed")
+		}
+		got, _ := runFuzz(t, testConfig(ranks, algo), iters, seed, useNB, rep.Image)
+		for r := 0; r < ranks; r++ {
+			if got[r] != want[r] {
+				t.Fatalf("%s seed %d frac %.2f rank %d: restart diverged: %v vs %v",
+					algo, seed, frac, r, got[r], want[r])
+			}
+		}
+	})
+}
+
 // TestPropertyPeriodicCheckpointsTransparent: random schedules with
 // periodic in-place checkpoints (several drain-capture-release cycles per
 // run) must leave results untouched.

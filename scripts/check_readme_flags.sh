@@ -44,7 +44,7 @@ section_flags() {
 }
 
 fail=0
-for tool in ccrun ccverify ccimg ccbench; do
+for tool in ccrun ccverify ccimg ccbench cclint; do
   if ! grep -qE "^### $tool" README.md; then
     echo "README.md: missing a '### $tool' section"
     fail=1
