@@ -583,7 +583,7 @@ func BenchmarkStreamingCheckpoint(b *testing.B) {
 		elems = 8 << 10
 	}
 
-	run := func(b *testing.B, store ckpt.Store, async, incremental bool) (stall float64, peak int64) {
+	run := func(b *testing.B, store ckpt.Store, async, incremental bool) (stall float64, peak int64, encoded int64) {
 		cfg := rt.Config{
 			Ranks: ranks, PPN: 32, Params: netmodel.PerlmutterLike(), Algorithm: rt.AlgoCC,
 			Checkpoint: &rt.CkptPlan{
@@ -622,39 +622,48 @@ func BenchmarkStreamingCheckpoint(b *testing.B) {
 				}
 			}
 		}
-		return stall / float64(len(rep.CheckpointHistory)), peak
+		// The real (unpadded) bytes the encode hot path streamed: every
+		// capture hashes and (when fresh) encodes the job's logical image.
+		var real int64
+		for i := range rep.Image.Images {
+			real += rep.Image.Images[i].Bytes()
+		}
+		encoded = real * int64(len(rep.CheckpointHistory))
+		return stall / float64(len(rep.CheckpointHistory)), peak, encoded
 	}
 
 	b.Run("blob-sync", func(b *testing.B) {
 		var stall float64
 		for i := 0; i < b.N; i++ {
-			stall, _ = run(b, nil, false, false)
+			stall, _, _ = run(b, nil, false, false)
 		}
 		b.ReportMetric(stall, "stall-s")
 	})
 	b.Run("stream-sync-full", func(b *testing.B) {
 		var stall float64
-		var peak int64
+		var peak, encoded int64
 		for i := 0; i < b.N; i++ {
-			stall, peak = run(b, ckpt.NewMemStore(), false, false)
+			stall, peak, encoded = run(b, ckpt.NewMemStore(), false, false)
 		}
+		b.SetBytes(encoded) // encode-path MB/s (real logical bytes, not padding)
 		b.ReportMetric(stall, "stall-s")
 		b.ReportMetric(float64(peak)/(1<<20), "peak-enc-mb")
 		b.ReportMetric(float64(padded)*ranks/float64(peak), "img-over-peak-x")
 	})
 	b.Run("stream-async-incremental", func(b *testing.B) {
 		var stall float64
-		var peak int64
+		var peak, encoded int64
 		for i := 0; i < b.N; i++ {
-			stall, peak = run(b, ckpt.NewMemStore(), true, true)
+			stall, peak, encoded = run(b, ckpt.NewMemStore(), true, true)
 		}
+		b.SetBytes(encoded) // hash+diff MB/s; reused shards skip the encoder
 		b.ReportMetric(stall, "stall-s")
 		b.ReportMetric(float64(peak)/(1<<20), "peak-enc-mb")
 	})
 	b.Run("stall-parity", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			blobStall, _ := run(b, nil, false, false)
-			streamStall, _ := run(b, ckpt.NewMemStore(), false, false)
+			blobStall, _, _ := run(b, nil, false, false)
+			streamStall, _, _ := run(b, ckpt.NewMemStore(), false, false)
 			// Same padded bytes on the same tier in the same regime: the
 			// stream must not change the priced stall at all.
 			if diff := math.Abs(streamStall - blobStall); diff > 1e-9*math.Max(blobStall, 1) {
@@ -663,6 +672,104 @@ func BenchmarkStreamingCheckpoint(b *testing.B) {
 			b.ReportMetric(streamStall/blobStall, "stall-ratio")
 		}
 	})
+}
+
+// BenchmarkPageDeltaCheckpoint measures what sub-rank page deltas save on a
+// low-churn workload whose hot shards span many 64 KiB pages: the same
+// periodic straggler run is committed once with whole-shard incremental
+// reuse and once with page deltas on, both UNPADDED so FreshBytes are the
+// real compressed bytes that traveled to storage. Steady-state captures
+// (everything after the first, which has no parent to diff against) must
+// write at least 50% fewer fresh bytes with deltas ("fresh-shrink-x"), every
+// sealed epoch of the delta chain must restart digest-identical to the
+// uninterrupted run, and the streaming encoder's peak must stay within the
+// budget.
+func BenchmarkPageDeltaCheckpoint(b *testing.B) {
+	const (
+		ranks  = 8
+		budget = int64(8) << 20
+	)
+	scfg := apps.StragglerConfig{
+		HotRanks: 2, ColdSteps: 2, HotIters: 24,
+		// Cold ranks freeze one page of state; hot ranks carry 512 KiB (8
+		// pages) and dirty only the page or two their churn window crosses
+		// between captures — the shape page deltas exist for.
+		StateElems: 8 << 10, HotStateElems: 64 << 10,
+	}
+	factory := func(rank int) rt.App { return apps.NewStraggler(scfg, rank) }
+
+	run := func(b *testing.B, delta bool) (store *ckpt.MemStore, rep *rt.Report) {
+		store = ckpt.NewMemStore()
+		cfg := rt.Config{
+			Ranks: ranks, PPN: 4, Params: netmodel.PerlmutterLike(), Algorithm: rt.AlgoCC,
+			Checkpoint: &rt.CkptPlan{
+				AtStep: 4, Every: 1e-6, Mode: ckpt.ContinueAfterCapture,
+				Store: store, Async: true, Incremental: true, Delta: delta,
+				StreamBudgetBytes: budget,
+			},
+		}
+		rep, err := rt.Run(cfg, factory)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.CheckpointHistory) < 4 {
+			b.Fatalf("only %d chained captures (want >= 4 for a steady state)", len(rep.CheckpointHistory))
+		}
+		return store, rep
+	}
+	// steady sums the fresh bytes of every capture AFTER the first: epoch 0
+	// is all-full in both modes and would dilute the comparison.
+	steady := func(rep *rt.Report) (fresh int64, deltaShards int) {
+		for _, st := range rep.CheckpointHistory[1:] {
+			fresh += st.FreshBytes
+			deltaShards += st.DeltaShards
+			if st.PeakEncodeBytes > budget {
+				b.Fatalf("peak encode %d bytes exceeds the %d budget", st.PeakEncodeBytes, budget)
+			}
+		}
+		return fresh, deltaShards
+	}
+
+	var golden string
+	if rep, err := rt.Run(rt.Config{Ranks: ranks, PPN: 4, Params: netmodel.PerlmutterLike(), Algorithm: rt.AlgoCC}, factory); err != nil {
+		b.Fatal(err)
+	} else if golden = rep.StateDigest; golden == "" {
+		b.Fatal("golden run produced no digest")
+	}
+
+	var shrink float64
+	for i := 0; i < b.N; i++ {
+		_, wholeRep := run(b, false)
+		deltaStore, deltaRep := run(b, true)
+		wholeFresh, _ := steady(wholeRep)
+		deltaFresh, deltaShards := steady(deltaRep)
+		if deltaShards == 0 {
+			b.Fatal("delta chain stored no page-delta shards")
+		}
+		if deltaFresh*2 > wholeFresh {
+			b.Fatalf("page deltas wrote %d steady-state fresh bytes, want <= half of whole-shard %d",
+				deltaFresh, wholeFresh)
+		}
+		shrink = float64(wholeFresh) / float64(deltaFresh)
+
+		// Digest-identical restart from EVERY sealed epoch of the delta chain.
+		epochs, err := deltaStore.Epochs()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range epochs {
+			rrep, err := rt.RestartFromStore(
+				rt.Config{Ranks: ranks, PPN: 4, Params: netmodel.PerlmutterLike(), Algorithm: rt.AlgoCC},
+				deltaStore, e, factory)
+			if err != nil {
+				b.Fatalf("restart from delta epoch %d: %v", e, err)
+			}
+			if rrep.StateDigest != golden {
+				b.Fatalf("restart from delta epoch %d diverged: %.12s != golden %.12s", e, rrep.StateDigest, golden)
+			}
+		}
+	}
+	b.ReportMetric(shrink, "fresh-shrink-x")
 }
 
 // BenchmarkChainDepthRestart measures the restart-time price of a deep

@@ -45,6 +45,7 @@ func main() {
 		async    = flag.Bool("async", false, "staged pipeline: resume the job while shards encode and commit")
 		tier     = flag.String("tier", "pfs", "storage tier checkpoints are charged to: pfs or burst")
 		incr     = flag.Bool("incremental", false, "reuse unchanged shards from the previous epoch (implies a store)")
+		delta    = flag.Bool("delta", false, "store partially-changed shards as page deltas against the chain's base epoch (implies a store; best with -incremental)")
 		budgetMB = flag.Int("stream-budget", 0, "in-flight streaming-encode budget in MiB for store commits (0 = default)")
 		keep     = flag.Int("keep", 0, "garbage-collect the store after each seal, retaining this many epochs (0 = keep everything)")
 		compact  = flag.Int("compact-every", 0, "compact the chain into a self-contained epoch every N seals (0 = never)")
@@ -66,12 +67,12 @@ func main() {
 		Params:    mana.PerlmutterLike(),
 		Algorithm: *algo,
 	}
-	if *ckptAt <= 0 && (*storeDir != "" || *async || *incr || *every > 0 || *tier != "pfs" || *budgetMB != 0 || *keep != 0 || *compact != 0) {
+	if *ckptAt <= 0 && (*storeDir != "" || *async || *incr || *delta || *every > 0 || *tier != "pfs" || *budgetMB != 0 || *keep != 0 || *compact != 0) {
 		// These flags only shape a checkpoint plan; without a first trigger
 		// they would be silently discarded and the run would complete with
 		// zero captures — surfaced only when a later restart finds an empty
 		// store.
-		fail(fmt.Errorf("-store/-async/-incremental/-every/-tier/-stream-budget/-keep/-compact-every require -ckpt-at to schedule the first checkpoint"))
+		fail(fmt.Errorf("-store/-async/-incremental/-delta/-every/-tier/-stream-budget/-keep/-compact-every require -ckpt-at to schedule the first checkpoint"))
 	}
 	if *budgetMB < 0 {
 		fail(fmt.Errorf("-stream-budget must be non-negative (MiB)"))
@@ -101,7 +102,7 @@ func main() {
 		}
 		cfg.Checkpoint = &mana.CkptPlan{
 			AtVT: *ckptAt, Every: *every, Mode: mode,
-			Async: *async, Incremental: *incr, Tier: storageTier,
+			Async: *async, Incremental: *incr, Delta: *delta, Tier: storageTier,
 			StreamBudgetBytes: int64(*budgetMB) << 20,
 			KeepEpochs:        *keep,
 			CompactEvery:      *compact,
@@ -178,6 +179,9 @@ func main() {
 		if st.Epoch >= 0 {
 			fmt.Printf(", epoch %d: %d fresh / %d reused shards, peak encode %.1f MiB",
 				st.Epoch, st.FreshShards, st.ReusedShards, float64(st.PeakEncodeBytes)/(1<<20))
+			if st.DeltaShards > 0 {
+				fmt.Printf(" (%d fresh as page deltas, %d bytes)", st.DeltaShards, st.DeltaBytes)
+			}
 		}
 		if st.CompactedEpoch >= 0 {
 			fmt.Printf(", compacted into epoch %d (%.3fs background)", st.CompactedEpoch, st.CompactVT)

@@ -7,7 +7,7 @@
 //
 //	ccverify [-ranks N] [-ppn N] [-scale F] [-workloads a,b] [-algos cc,2pc]
 //	         [-min-triggers N] [-max-triggers N] [-negative] [-crossgeo]
-//	         [-incremental] [-lifecycle] [-faults] [-v]
+//	         [-incremental] [-delta] [-lifecycle] [-faults] [-v]
 //
 // Beyond the trigger matrix, the default run also verifies (on the first
 // runnable case) that a checkpoint restarts correctly onto a different
@@ -17,7 +17,10 @@
 // the staged asynchronous pipeline's FileStore chains restart digest-
 // identically from every epoch with incremental shard reuse and attributable
 // parent-epoch corruption (-incremental, on the low-churn straggler
-// workload), that chain compaction and epoch garbage collection reclaim
+// workload), that page-delta chains store partially-changed shards as dirty
+// pages, shrink the fresh bytes per capture, and reassemble byte-identically
+// through their base epochs (-delta), that chain compaction and epoch
+// garbage collection reclaim
 // storage without changing any surviving restart and attribute dangling
 // references instead of panicking (-lifecycle), and that killing a rank
 // mid-drain or mid-capture aborts the coordinator with diagnostics instead
@@ -50,6 +53,7 @@ func main() {
 		negative    = flag.Bool("negative", true, "also verify that corrupted images (snapshot and per-shard) are detected")
 		crossgeo    = flag.Bool("crossgeo", true, "also verify restart onto different ranks-per-node geometries")
 		incremental = flag.Bool("incremental", true, "also verify async incremental FileStore chains (straggler workload)")
+		deltas      = flag.Bool("delta", true, "also verify page-delta chains (page-scale straggler workload)")
 		lifecycle   = flag.Bool("lifecycle", true, "also verify GC and chain compaction on a FileStore chain (straggler workload)")
 		faults      = flag.Bool("faults", true, "also verify rank-death fault injection (mid-drain and mid-capture)")
 		verbose     = flag.Bool("v", false, "log every trigger point")
@@ -124,6 +128,20 @@ func main() {
 			failed = true
 		} else {
 			fmt.Printf("incremental-chain check (%s/%s): %s, ok\n", conformance.DefaultChainWorkload, algo, rpt)
+		}
+	}
+
+	// The page-delta sweep runs a page-scale straggler chain with Delta on:
+	// partially-changed shards must be stored as dirty pages, restart
+	// digest-identically through their base epochs, and shrink the fresh
+	// bytes per capture against whole-shard reuse.
+	if *deltas {
+		algo := algoList[0]
+		if rpt, err := conformance.VerifyDeltaChain(algo, opts); err != nil {
+			fmt.Printf("page-delta-chain check (straggler/%s): FAIL: %v\n", algo, err)
+			failed = true
+		} else {
+			fmt.Printf("page-delta-chain check (straggler/%s): %s, ok\n", algo, rpt)
 		}
 	}
 

@@ -2,7 +2,10 @@ package apps
 
 import (
 	"bytes"
-	"encoding/gob"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
 
 	"mana/internal/mpi"
 	"mana/internal/rt"
@@ -131,31 +134,74 @@ func (a *Straggler) Step(env *rt.Env) (bool, error) {
 	return a.Iter < a.target, nil
 }
 
+// Snapshot layout: a fixed-width little-endian encoding, NOT gob. Gob's
+// variable-width integers would shift every later byte when a counter
+// crosses an encoding-width boundary, smearing a one-word change across the
+// whole stream; the fixed layout keeps unchanged state byte-stable at page
+// granularity, which is what makes the straggler the page-delta testbed — a
+// hot rank's capture dirties only the header page and the pages its step
+// loop actually touched, and a frozen cold rank's snapshot is bit-identical
+// across epochs.
+//
+// Layout: 5 uint64 header words (Iter, target, Acc bits, len(Sum),
+// len(State)), then Sum verbatim, then each State element as float64 bits.
+
 func (a *Straggler) Snapshot() ([]byte, error) {
 	var buf bytes.Buffer
-	err := gob.NewEncoder(&buf).Encode(struct {
-		Iter   int
-		Acc    float64
-		Sum    []byte
-		State  []float64
-		Target int
-	}{a.Iter, a.Acc, a.Sum, a.State, a.target})
-	return buf.Bytes(), err
+	buf.Grow(5*8 + len(a.Sum) + 8*len(a.State))
+	if err := a.SnapshotTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SnapshotTo implements rt.StreamSnapshotter: the capture path streams the
+// snapshot straight into the image buffer. Produces exactly Snapshot's bytes.
+func (a *Straggler) SnapshotTo(w io.Writer) error {
+	hdr := make([]byte, 5*8)
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(a.Iter))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(a.target))
+	binary.LittleEndian.PutUint64(hdr[16:], math.Float64bits(a.Acc))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(a.Sum)))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(len(a.State)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := w.Write(a.Sum); err != nil {
+		return err
+	}
+	elem := make([]byte, 8)
+	for _, v := range a.State {
+		binary.LittleEndian.PutUint64(elem, math.Float64bits(v))
+		if _, err := w.Write(elem); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (a *Straggler) Restore(data []byte) error {
-	var st struct {
-		Iter   int
-		Acc    float64
-		Sum    []byte
-		State  []float64
-		Target int
+	if len(data) < 5*8 {
+		return fmt.Errorf("straggler: snapshot truncated (%d bytes)", len(data))
 	}
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
-		return err
+	iter := int(binary.LittleEndian.Uint64(data[0:]))
+	target := int(binary.LittleEndian.Uint64(data[8:]))
+	acc := math.Float64frombits(binary.LittleEndian.Uint64(data[16:]))
+	nSum := int(binary.LittleEndian.Uint64(data[24:]))
+	nState := int(binary.LittleEndian.Uint64(data[32:]))
+	rest := data[5*8:]
+	if nSum < 0 || nState < 0 || len(rest) != nSum+8*nState {
+		return fmt.Errorf("straggler: snapshot claims %d+8*%d payload bytes, has %d",
+			nSum, nState, len(rest))
 	}
-	a.Iter, a.Acc, a.target = st.Iter, st.Acc, st.Target
-	copy(a.Sum, st.Sum)
-	copy(a.State, st.State)
+	if nSum != len(a.Sum) || nState != len(a.State) {
+		return fmt.Errorf("straggler: snapshot shape (%d sum, %d state) does not match this rank (%d, %d)",
+			nSum, nState, len(a.Sum), len(a.State))
+	}
+	a.Iter, a.Acc, a.target = iter, acc, target
+	copy(a.Sum, rest[:nSum])
+	for i := range a.State {
+		a.State[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[nSum+8*i:]))
+	}
 	return nil
 }

@@ -1,7 +1,9 @@
 package ckpt
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,6 +32,11 @@ const (
 type RankHooks struct {
 	// AppSnapshot serializes the application's upper-half state.
 	AppSnapshot func() ([]byte, error)
+	// AppSnapshotTo, when non-nil, is preferred over AppSnapshot: it streams
+	// the same bytes into a writer, letting the capture path fill its buffer
+	// without the double allocation of build-then-copy. The two MUST produce
+	// identical bytes — shard identity (and page-delta diffing) hashes them.
+	AppSnapshotTo func(w io.Writer) error
 	// ProtoSnapshot serializes the protocol state (via Protocol.Snapshot).
 	ProtoSnapshot func() ([]byte, error)
 	// ClockVT reads the rank's virtual clock.
@@ -97,6 +104,12 @@ type CheckpointStats struct {
 	ReusedShards int
 	FreshBytes   int64
 	ReusedBytes  int64
+
+	// Page-delta accounting (Delta mode): how many of the fresh shards were
+	// stored as page deltas against an earlier full shard, and their
+	// compressed bytes (a subset of FreshShards/FreshBytes).
+	DeltaShards int
+	DeltaBytes  int64
 
 	// CaptureHostSeconds is the wall-clock (host, not virtual) time the
 	// coordinator spent building this checkpoint's job image — the quantity
@@ -173,6 +186,16 @@ type Coordinator struct {
 	// recorded as a reference instead of re-encoded and re-written.
 	// Requires a store (SetStore).
 	Incremental bool
+
+	// Delta enables sub-rank page deltas on top of Incremental: capture
+	// hashing also computes a per-page CRC table (HashCapturePaged), and a
+	// rank whose shard differs from the parent epoch in only a few pages is
+	// stored as a RawFormatPageDelta object holding just the dirty pages,
+	// diffed against the chain's full base shard. Implies page tables in the
+	// manifest (ManifestV4); requires a store, and does nothing useful
+	// without Incremental (every shard hashes fresh with no parent to diff
+	// against).
+	Delta bool
 
 	// Tier selects the storage tier checkpoint writes are charged against
 	// (default: the parallel filesystem). With TierBurstBuffer, captures
@@ -450,12 +473,26 @@ func (c *Coordinator) captureRank(r int, img *JobImage) error {
 				r, posted, len(ri.Desc.Recvs))
 		}
 	}
-	if h := c.hooks[r]; h.AppSnapshot != nil {
-		app, err := h.AppSnapshot()
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("ckpt: rank %d app snapshot: %w", r, err)
+	if h := c.hooks[r]; h.AppSnapshot != nil || h.AppSnapshotTo != nil {
+		if h.AppSnapshotTo != nil {
+			// Streaming fast path: the app writes straight into the image
+			// buffer (one allocation, grown in place) instead of building a
+			// private []byte the capture then copies.
+			var buf bytes.Buffer
+			if err := h.AppSnapshotTo(&buf); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("ckpt: rank %d app snapshot: %w", r, err)
+				}
+			} else {
+				ri.App = buf.Bytes()
+			}
+		} else {
+			app, err := h.AppSnapshot()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("ckpt: rank %d app snapshot: %w", r, err)
+			}
+			ri.App = app
 		}
-		ri.App = app
 		proto, err := h.ProtoSnapshot()
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("ckpt: rank %d protocol snapshot: %w", r, err)
@@ -655,7 +692,14 @@ type commitResult struct {
 func (c *Coordinator) commitEpoch(epoch int, img *JobImage) commitResult {
 	//lint:allow wallclock commit hostSeconds deliberately reports host-side commit cost
 	t0 := time.Now()
-	sums, encErr := HashCapture(img)
+	var sums *ShardSums
+	var encErr error
+	if c.Delta {
+		// Delta mode also builds the per-page CRC table the differ needs.
+		sums, encErr = HashCapturePaged(img, ShardPageBytes)
+	} else {
+		sums, encErr = HashCapture(img)
+	}
 
 	// The ticket MUST advance even when this epoch fails (encode or commit):
 	// later epochs wait for committed == their number, and a skipped
@@ -686,6 +730,9 @@ func (c *Coordinator) commitEpoch(epoch int, img *JobImage) commitResult {
 	c.store.Overlapped = c.Async
 	c.store.Tier = c.Tier
 	c.store.PadShardBytes = c.PaddedBytesPerRank
+	// The commit tier's codec hint selects the encoders' flate level (the
+	// effective tier: an absent burst tier resolves to the PFS constants).
+	c.store.FlateLevel = c.W.Model.Tier(c.W.Model.EffectiveTier(c.Tier)).FlateLevel
 	if c.budget == nil {
 		c.budget = NewStreamBudget(c.StreamBudgetBytes)
 	}
@@ -806,6 +853,8 @@ func (c *Coordinator) applyCommitLocked(histIdx int, res commitResult) {
 		e.ReusedShards = res.stats.ReusedShards
 		e.FreshBytes = res.stats.FreshBytes
 		e.ReusedBytes = res.stats.ReusedBytes
+		e.DeltaShards = res.stats.DeltaShards
+		e.DeltaBytes = res.stats.DeltaBytes
 	}
 	// Lifecycle outcome applies even when the pass failed part-way (the
 	// epoch itself sealed; whatever was reclaimed before the failure is

@@ -36,10 +36,12 @@ import (
 	"encoding/gob"
 	"fmt"
 	"hash"
+	"hash/crc32"
 	"hash/fnv"
 	"io"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -87,9 +89,41 @@ type ShardInfo struct {
 	RawSum uint64
 	// RawFormat selects the raw shard stream's layout (store shards only):
 	// RawFormatGob for legacy whole-gob shards, RawFormatChunked for the
-	// bounded-memory header+payload layout the streaming writer emits.
-	// Old manifests decode with the zero value, which is the legacy format.
+	// bounded-memory header+payload layout the streaming writer emits,
+	// RawFormatPageDelta for a page-delta object reconstructed against an
+	// earlier full shard (below). Old manifests decode with the zero value,
+	// which is the legacy format.
 	RawFormat int
+
+	// Page-delta fields (RawFormat == RawFormatPageDelta, plus the page
+	// table on any fresh shard committed with delta mode on). RawSum and
+	// RawSize ALWAYS describe the LOGICAL chunked (RawFormatChunked) stream
+	// — the identity the incremental differ keys on — never the stored
+	// delta object, whose own raw identity is DeltaRawSum/DeltaRawSize and
+	// whose stored compressed identity stays Size/Checksum.
+
+	// PageSize is the fixed page width the logical stream is split into
+	// (the last page may be short). Zero when no page table was recorded.
+	PageSize int64
+	// PageSums holds one CRC-32C (Castagnoli) per page of the logical
+	// stream — the page-granular identity the next epoch diffs against,
+	// and the per-page integrity check restart applies while merging.
+	PageSums []uint32
+	// BaseEpoch is the epoch holding the FULL (RawFormatChunked) shard a
+	// page-delta object reconstructs from. Deltas never chain: the base is
+	// always a full shard, so restart reads exactly two objects.
+	BaseEpoch int
+	// DeltaPages lists the dirty page indices stored in the delta object,
+	// sorted ascending; every other page is byte-identical to the base.
+	DeltaPages []int32
+	// BaseSize is the base object's stored (compressed) size, copied at
+	// commit time so restart read pricing can charge the base fan-in from
+	// this manifest alone.
+	BaseSize int64
+	// DeltaRawSize/DeltaRawSum are the stored delta stream's raw
+	// (pre-compression) length and FNV-1a — what Size/Checksum compress.
+	DeltaRawSize int64
+	DeltaRawSum  uint64
 }
 
 // Raw shard stream formats (ShardInfo.RawFormat).
@@ -106,6 +140,12 @@ const (
 	// header passes through gob, so encode buffering is O(header) and
 	// decode allocates nothing beyond the restored state itself.
 	RawFormatChunked = 1
+	// RawFormatPageDelta: only the DIRTY pages of the logical chunked
+	// stream, against a full base shard in ShardInfo.BaseEpoch — a small
+	// gob header (base epoch, page geometry, dirty page list) followed by
+	// the dirty pages' bytes in index order. Restart merges base and delta
+	// page streams at one-page memory (see FORMAT.md, "Raw format 2").
+	RawFormatPageDelta = 2
 )
 
 // Manifest versions. Zero-valued Version means v2 (the version field
@@ -119,6 +159,11 @@ const (
 	// store objects (RefEpoch, Rank), possibly in earlier epochs, with the
 	// rank clock carried per shard in the manifest itself.
 	ManifestV3 = 3
+	// ManifestV4 is a v3 manifest whose epoch was committed with page
+	// deltas enabled: fresh shards carry page tables and entries may be
+	// RawFormatPageDelta. Purely additive gob evolution over v3 — old
+	// fields mean exactly what they meant.
+	ManifestV4 = 4
 )
 
 // Manifest is the job-level header: the geometry needed to rebuild the
@@ -188,10 +233,40 @@ func fanOut(jobs, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
-// flateWriters recycles compressors across shards: a flate.Writer carries
+// flatePools recycles compressors across shards — a flate.Writer carries
 // megabyte-scale window state whose allocation would otherwise dominate the
-// encode of small shards (hundreds of ranks x one fresh writer each).
-var flateWriters = sync.Pool{}
+// encode of small shards (hundreds of ranks x one fresh writer each) —
+// KEYED BY LEVEL: a writer keeps its compression level across Reset, so a
+// single pool would silently recycle a writer at whatever level it was
+// created with once per-tier levels diverge. Indexed by
+// level - flate.HuffmanOnly (the lowest valid level, -2).
+var flatePools [flate.BestCompression - flate.HuffmanOnly + 1]sync.Pool
+
+// normFlateLevel maps a codec hint to a concrete flate level: 0 (unset)
+// selects the default shardCompression, anything outside flate's valid
+// range is clamped to it too. NoCompression is deliberately not selectable
+// — a checkpoint tier that wants raw bytes wants BestSpeed's cheap win.
+func normFlateLevel(level int) int {
+	if level == 0 || level < flate.HuffmanOnly || level > flate.BestCompression {
+		return shardCompression
+	}
+	return level
+}
+
+// flateWriterFor pulls (or creates) a compressor at one normalized level.
+func flateWriterFor(level int, dst io.Writer) (*flate.Writer, error) {
+	fw, _ := flatePools[level-flate.HuffmanOnly].Get().(*flate.Writer)
+	if fw == nil {
+		return flate.NewWriter(dst, level)
+	}
+	fw.Reset(dst)
+	return fw, nil
+}
+
+// putFlateWriter recycles a compressor into its level's pool.
+func putFlateWriter(level int, fw *flate.Writer) {
+	flatePools[level-flate.HuffmanOnly].Put(fw)
+}
 
 // ---------------------------------------------------------- streaming encode
 
@@ -219,8 +294,13 @@ var flateWriters = sync.Pool{}
 
 // shardChunkBytes is the fixed size of the pooled staging buffer between
 // the compressor and the store writer (gob emits many small writes; batching
-// them keeps FileStore syscall counts sane).
-const shardChunkBytes = 256 << 10
+// them keeps FileStore syscall counts sane). 512 KiB came out of a sweep of
+// BenchmarkStreamingCheckpoint over 128K/256K/512K/1M: throughput climbs
+// ~8% from 256K (fewer store writes per shard) and flattens past 512K,
+// while the per-stream footprint stays small enough that even the
+// conformance suite's deliberately tight 4 MiB budget still admits three
+// concurrent streams.
+const shardChunkBytes = 512 << 10
 
 // shardStreamFootprint is the in-flight memory one open ShardWriter is
 // accounted at: the pooled chunk buffer plus a conservative bound on the
@@ -403,6 +483,9 @@ type ShardSummary struct {
 	Checksum uint64 // FNV-1a over the compressed stream
 	RawSize  int64  // raw gob bytes before compression
 	RawSum   uint64 // FNV-1a over the raw (clockless) gob
+	// PageSums is the CRC-32C page table of the raw stream, present only
+	// when the writer was opened with a page size (delta-mode commits).
+	PageSums []uint32
 }
 
 // ShardWriter streams one rank's shard into a store stream: the rank image
@@ -412,30 +495,41 @@ type ShardSummary struct {
 // the compressed stream, closes the store writer, and returns the summary.
 type ShardWriter struct {
 	rank  int
+	level int
 	dst   io.WriteCloser
 	chunk *chunkWriter
 	comp  *countWriter
 	fw    *flate.Writer
 	raw   *countWriter
+	pages *pageSummer
 }
 
 // NewShardWriter opens a streaming encoder for one rank's shard over a
-// store stream (typically Store.PutShardStream's writer).
+// store stream (typically Store.PutShardStream's writer) at the default
+// compression level.
 func NewShardWriter(rank int, dst io.WriteCloser) (*ShardWriter, error) {
-	w := &ShardWriter{rank: rank, dst: dst}
+	return NewShardWriterLevel(rank, dst, 0, 0)
+}
+
+// NewShardWriterLevel opens a streaming shard encoder at an explicit flate
+// level (0 = default; see normFlateLevel) and, when pageSize > 0, records a
+// CRC-32C page table over the raw stream as it flows (reported at Close) —
+// the page-granular identity the delta differ compares epochs with.
+func NewShardWriterLevel(rank int, dst io.WriteCloser, level int, pageSize int64) (*ShardWriter, error) {
+	w := &ShardWriter{rank: rank, level: normFlateLevel(level), dst: dst}
 	w.chunk = newChunkWriter(dst)
 	w.comp = newCountWriter(w.chunk)
-	fw, _ := flateWriters.Get().(*flate.Writer)
-	if fw == nil {
-		var err error
-		if fw, err = flate.NewWriter(w.comp, shardCompression); err != nil {
-			return nil, fmt.Errorf("ckpt: rank %d shard compressor: %w", rank, err)
-		}
-	} else {
-		fw.Reset(w.comp)
+	fw, err := flateWriterFor(w.level, w.comp)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: rank %d shard compressor: %w", rank, err)
 	}
 	w.fw = fw
-	w.raw = newCountWriter(fw)
+	var rawDst io.Writer = fw
+	if pageSize > 0 {
+		w.pages = newPageSummer(pageSize, fw)
+		rawDst = w.pages
+	}
+	w.raw = newCountWriter(rawDst)
 	return w, nil
 }
 
@@ -453,7 +547,7 @@ func (w *ShardWriter) Close() (ShardSummary, error) {
 	if err := w.fw.Close(); err != nil {
 		firstErr = fmt.Errorf("ckpt: compressing rank %d shard: %w", w.rank, err)
 	} else {
-		flateWriters.Put(w.fw)
+		putFlateWriter(w.level, w.fw)
 	}
 	if err := w.chunk.close(); err != nil && firstErr == nil {
 		firstErr = fmt.Errorf("ckpt: writing rank %d shard: %w", w.rank, err)
@@ -461,12 +555,16 @@ func (w *ShardWriter) Close() (ShardSummary, error) {
 	if err := w.dst.Close(); err != nil && firstErr == nil {
 		firstErr = fmt.Errorf("ckpt: sealing rank %d shard stream: %w", w.rank, err)
 	}
-	return ShardSummary{
+	sum := ShardSummary{
 		Size:     w.comp.n,
 		Checksum: w.comp.h.Sum64(),
 		RawSize:  w.raw.n,
 		RawSum:   w.raw.h.Sum64(),
-	}, firstErr
+	}
+	if w.pages != nil {
+		sum.PageSums = w.pages.finish()
+	}
+	return sum, firstErr
 }
 
 // shardRawHeader is the chunked raw layout's structured prefix: everything
@@ -721,6 +819,304 @@ func hashShardClockless(ri *RankImage) (sum uint64, size int64, err error) {
 	return cw.h.Sum64(), cw.n, nil
 }
 
+// ----------------------------------------------------------- page deltas
+
+// Page-delta shards (RawFormatPageDelta). Whole-shard reuse is all or
+// nothing: one hot byte in a rank re-encodes, re-compresses, and re-writes
+// the entire shard. Delta mode splits the LOGICAL chunked stream into
+// fixed-size pages, keeps a per-page CRC-32C table in the manifest, and on
+// capture stores only the pages whose sums changed since the parent epoch —
+// against a FULL base shard (deltas never chain off deltas), so restart
+// reads exactly two objects and merges them at one-page memory.
+//
+// CRC-32C (Castagnoli) is the page checksum deliberately: the stdlib
+// implementation is hardware-accelerated (SSE4.2/ARMv8 CRC instructions),
+// so the per-page diff costs a fraction of another FNV pass. FNV-1a remains
+// the whole-stream identity (RawSum) for manifest compatibility — reuse
+// keying is unchanged.
+
+// ShardPageBytes is the default page width. 64 KiB balances table size
+// (16 KiB of sums per GiB of state) against delta granularity (one hot byte
+// dirties 64 KiB, not a whole shard).
+const ShardPageBytes = 64 << 10
+
+// crcTable is the Castagnoli polynomial table (SIMD-backed in the stdlib).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// pagesOf returns how many pageSize pages cover n bytes.
+func pagesOf(n, pageSize int64) int64 {
+	if pageSize <= 0 {
+		return 0
+	}
+	return (n + pageSize - 1) / pageSize
+}
+
+// pageSummer accumulates a CRC-32C per fixed-size page of everything
+// written through it, forwarding to dst (nil discards — hash-only passes).
+type pageSummer struct {
+	dst      io.Writer
+	pageSize int64
+	sums     []uint32
+	crc      uint32
+	fill     int64 // bytes accumulated into the current page
+}
+
+func newPageSummer(pageSize int64, dst io.Writer) *pageSummer {
+	return &pageSummer{dst: dst, pageSize: pageSize}
+}
+
+func (p *pageSummer) Write(b []byte) (int, error) {
+	written := 0
+	for len(b) > 0 {
+		chunk := b
+		if room := p.pageSize - p.fill; int64(len(chunk)) > room {
+			chunk = chunk[:room]
+		}
+		p.crc = crc32.Update(p.crc, crcTable, chunk)
+		p.fill += int64(len(chunk))
+		if p.fill == p.pageSize {
+			p.sums = append(p.sums, p.crc)
+			p.crc, p.fill = 0, 0
+		}
+		if p.dst != nil {
+			n, err := p.dst.Write(chunk)
+			written += n
+			if err != nil {
+				return written, err
+			}
+		} else {
+			written += len(chunk)
+		}
+		b = b[len(chunk):]
+	}
+	return written, nil
+}
+
+// finish seals a trailing short page and returns the table. The summer must
+// not be written to afterwards.
+func (p *pageSummer) finish() []uint32 {
+	if p.fill > 0 {
+		p.sums = append(p.sums, p.crc)
+		p.crc, p.fill = 0, 0
+	}
+	return p.sums
+}
+
+// hashShardClocklessPaged is hashShardClockless plus a page table over the
+// same logical stream. The page sums describe exactly the bytes FNV hashes.
+func hashShardClocklessPaged(ri *RankImage, pageSize int64) (sum uint64, size int64, pages []uint32, err error) {
+	ps := newPageSummer(pageSize, nil)
+	cw := newCountWriter(ps)
+	if err := writeShardRaw(cw, ri, true); err != nil {
+		return 0, 0, nil, err
+	}
+	return cw.h.Sum64(), cw.n, ps.finish(), nil
+}
+
+// shardDeltaMagic introduces the stored delta stream (decompressed):
+//
+//	magic | gob(shardDeltaHeader) | dirty page payloads, ascending index
+//
+// The last page of the logical stream may be short; every other page is
+// exactly PageSize bytes. The header repeats geometry the manifest also
+// carries so a delta object is self-describing for tooling, but loads are
+// always driven by the manifest entry (which names the base epoch and the
+// expected page sums).
+var shardDeltaMagic = []byte("MANASHD2")
+
+type shardDeltaHeader struct {
+	Rank      int
+	BaseEpoch int
+	PageSize  int64
+	RawSize   int64 // logical (merged) stream length
+	Pages     []int32
+}
+
+// pageFilterWriter forwards only the byte ranges of dirty pages to dst,
+// discarding clean pages. It sees the full logical stream.
+type pageFilterWriter struct {
+	dst      io.Writer
+	pageSize int64
+	dirty    map[int32]bool
+	pos      int64
+}
+
+func newPageFilterWriter(dst io.Writer, pageSize int64, pages []int32) *pageFilterWriter {
+	dirty := make(map[int32]bool, len(pages))
+	for _, p := range pages {
+		dirty[p] = true
+	}
+	return &pageFilterWriter{dst: dst, pageSize: pageSize, dirty: dirty}
+}
+
+func (f *pageFilterWriter) Write(b []byte) (int, error) {
+	total := len(b)
+	for len(b) > 0 {
+		page := int32(f.pos / f.pageSize)
+		room := f.pageSize - f.pos%f.pageSize
+		chunk := b
+		if int64(len(chunk)) > room {
+			chunk = chunk[:room]
+		}
+		if f.dirty[page] {
+			if _, err := f.dst.Write(chunk); err != nil {
+				return total - len(b), err
+			}
+		}
+		f.pos += int64(len(chunk))
+		b = b[len(chunk):]
+	}
+	return total, nil
+}
+
+// ShardDeltaWriter streams one rank's LOGICAL chunked shard and stores only
+// its dirty pages as a RawFormatPageDelta object. Write sees the same bytes
+// a plain ShardWriter would (writeShardRaw output); the filter drops clean
+// pages before compression, so in-flight memory stays the compressor
+// window plus one chunk buffer — dirty ratio only shrinks the output.
+type ShardDeltaWriter struct {
+	rank  int
+	level int
+	raw   *countWriter // logical stream accounting (drift check vs HashCapture)
+	dRaw  *countWriter // stored delta stream (magic+header+dirty pages)
+	fw    *flate.Writer
+	comp  *countWriter
+	chunk *chunkWriter
+	dst   io.WriteCloser
+}
+
+// ShardDeltaSummary reports both identities of a stored delta: the logical
+// stream it reproduces (RawSize/RawSum, manifest reuse key) and the delta
+// stream actually stored (DeltaRawSize/DeltaRawSum), plus the compressed
+// object Size/Checksum.
+type ShardDeltaSummary struct {
+	Size         int64
+	Checksum     uint64
+	RawSize      int64
+	RawSum       uint64
+	DeltaRawSize int64
+	DeltaRawSum  uint64
+}
+
+func NewShardDeltaWriter(rank int, dst io.WriteCloser, level int, hdr shardDeltaHeader) (*ShardDeltaWriter, error) {
+	w := &ShardDeltaWriter{rank: rank, level: normFlateLevel(level), dst: dst}
+	w.chunk = newChunkWriter(dst)
+	w.comp = newCountWriter(w.chunk)
+	fw, err := flateWriterFor(w.level, w.comp)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: rank %d delta compressor: %w", rank, err)
+	}
+	w.fw = fw
+	w.dRaw = newCountWriter(fw)
+	if _, err := w.dRaw.Write(shardDeltaMagic); err != nil {
+		return nil, fmt.Errorf("ckpt: rank %d delta magic: %w", rank, err)
+	}
+	if err := gob.NewEncoder(w.dRaw).Encode(&hdr); err != nil {
+		return nil, fmt.Errorf("ckpt: rank %d delta header: %w", rank, err)
+	}
+	w.raw = newCountWriter(newPageFilterWriter(w.dRaw, hdr.PageSize, hdr.Pages))
+	return w, nil
+}
+
+// Write accepts the logical chunked stream (same bytes as ShardWriter).
+func (w *ShardDeltaWriter) Write(b []byte) (int, error) { return w.raw.Write(b) }
+
+// Close finalizes the compressed delta stream, flushes the chunk buffer,
+// closes the store writer, and reports both identities.
+func (w *ShardDeltaWriter) Close() (ShardDeltaSummary, error) {
+	var firstErr error
+	if err := w.fw.Close(); err != nil {
+		firstErr = fmt.Errorf("ckpt: compressing rank %d delta shard: %w", w.rank, err)
+	} else {
+		putFlateWriter(w.level, w.fw)
+	}
+	if err := w.chunk.close(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("ckpt: writing rank %d delta shard: %w", w.rank, err)
+	}
+	if err := w.dst.Close(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("ckpt: sealing rank %d delta shard stream: %w", w.rank, err)
+	}
+	return ShardDeltaSummary{
+		Size:         w.comp.n,
+		Checksum:     w.comp.h.Sum64(),
+		RawSize:      w.raw.n,
+		RawSum:       w.raw.h.Sum64(),
+		DeltaRawSize: w.dRaw.n,
+		DeltaRawSum:  w.dRaw.h.Sum64(),
+	}, firstErr
+}
+
+// deltaMergeReader reconstructs the logical chunked stream from a base
+// logical stream (a full shard's decompressed bytes) and a delta body (the
+// dirty page payloads, header already consumed), one page at a time: dirty
+// pages come from the delta (the base's copy is skipped), clean pages from
+// the base, and every page is CRC-checked against the manifest's table the
+// moment it is assembled — corruption is attributed to the exact page
+// before a single byte of it reaches the shard decoder.
+type deltaMergeReader struct {
+	base  io.Reader
+	delta io.Reader
+	si    *ShardInfo
+	dirty map[int32]bool
+	page  int32
+	buf   []byte
+	avail []byte
+	err   error
+}
+
+func newDeltaMergeReader(base, delta io.Reader, si *ShardInfo) *deltaMergeReader {
+	dirty := make(map[int32]bool, len(si.DeltaPages))
+	for _, p := range si.DeltaPages {
+		dirty[p] = true
+	}
+	return &deltaMergeReader{base: base, delta: delta, si: si, dirty: dirty,
+		buf: make([]byte, si.PageSize)}
+}
+
+// fill assembles and verifies the next page into r.avail.
+func (r *deltaMergeReader) fill() error {
+	off := int64(r.page) * r.si.PageSize
+	if off >= r.si.RawSize {
+		return io.EOF
+	}
+	n := r.si.PageSize
+	if off+n > r.si.RawSize {
+		n = r.si.RawSize - off
+	}
+	b := r.buf[:n]
+	if r.dirty[r.page] {
+		if _, err := io.ReadFull(r.delta, b); err != nil {
+			return fmt.Errorf("reading delta page %d: %w", r.page, err)
+		}
+		if _, err := io.CopyN(io.Discard, r.base, n); err != nil {
+			return fmt.Errorf("skipping base page %d: %w", r.page, err)
+		}
+	} else if _, err := io.ReadFull(r.base, b); err != nil {
+		return fmt.Errorf("reading base page %d: %w", r.page, err)
+	}
+	if got := crc32.Checksum(b, crcTable); got != r.si.PageSums[r.page] {
+		return fmt.Errorf("page %d corrupted (crc %08x, want %08x)", r.page, got, r.si.PageSums[r.page])
+	}
+	r.avail = b
+	r.page++
+	return nil
+}
+
+func (r *deltaMergeReader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	for len(r.avail) == 0 {
+		if err := r.fill(); err != nil {
+			r.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, r.avail)
+	r.avail = r.avail[n:]
+	return n, nil
+}
+
 // countReader accumulates an FNV-1a checksum and byte count over everything
 // read through it.
 type countReader struct {
@@ -818,18 +1214,13 @@ func decodeShardStream(src io.Reader, rawSize int64, wantSum uint64, rawFormat i
 }
 
 // compressShard flate-compresses one rank's raw shard gob, recycling
-// writers through flateWriters.
+// writers through the level-keyed pools.
 func compressShard(rank int, raw []byte) ([]byte, error) {
 	var out bytes.Buffer
 	out.Grow(len(raw)/4 + 64)
-	fw, _ := flateWriters.Get().(*flate.Writer)
-	if fw == nil {
-		var err error
-		if fw, err = flate.NewWriter(&out, shardCompression); err != nil {
-			return nil, fmt.Errorf("ckpt: rank %d shard compressor: %w", rank, err)
-		}
-	} else {
-		fw.Reset(&out)
+	fw, err := flateWriterFor(shardCompression, &out)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: rank %d shard compressor: %w", rank, err)
 	}
 	if _, err := fw.Write(raw); err != nil {
 		return nil, fmt.Errorf("ckpt: compressing rank %d shard: %w", rank, err)
@@ -837,7 +1228,7 @@ func compressShard(rank int, raw []byte) ([]byte, error) {
 	if err := fw.Close(); err != nil {
 		return nil, fmt.Errorf("ckpt: compressing rank %d shard: %w", rank, err)
 	}
-	flateWriters.Put(fw)
+	putFlateWriter(shardCompression, fw)
 	return out.Bytes(), nil
 }
 
@@ -1067,8 +1458,40 @@ func (man *Manifest) validate(shardDataLen int64) error {
 			return fmt.Errorf("ckpt: rank %d shard references epoch %d from epoch %d",
 				si.Rank, si.RefEpoch, man.Epoch)
 		}
-		if si.RawFormat < RawFormatGob || si.RawFormat > RawFormatChunked {
+		if si.RawFormat < RawFormatGob || si.RawFormat > RawFormatPageDelta {
 			return fmt.Errorf("ckpt: rank %d shard declares unknown raw format %d", si.Rank, si.RawFormat)
+		}
+		if si.PageSize < 0 || si.BaseSize < 0 || si.DeltaRawSize < 0 {
+			return fmt.Errorf("ckpt: rank %d shard has negative page geometry (page %d, base %d, delta raw %d)",
+				si.Rank, si.PageSize, si.BaseSize, si.DeltaRawSize)
+		}
+		if len(si.PageSums) > 0 || si.RawFormat == RawFormatPageDelta {
+			// Any recorded page table must tile the logical stream exactly —
+			// a wrong count would mis-attribute pages or index out of range.
+			if si.PageSize <= 0 {
+				return fmt.Errorf("ckpt: rank %d shard has a page table but page size %d", si.Rank, si.PageSize)
+			}
+			if int64(len(si.PageSums)) != pagesOf(si.RawSize, si.PageSize) {
+				return fmt.Errorf("ckpt: rank %d shard page table has %d sums for %d pages",
+					si.Rank, len(si.PageSums), pagesOf(si.RawSize, si.PageSize))
+			}
+		}
+		if si.RawFormat == RawFormatPageDelta {
+			if si.BaseEpoch < 0 || si.BaseEpoch >= si.RefEpoch {
+				return fmt.Errorf("ckpt: rank %d delta shard stored in epoch %d names base epoch %d (base must be an earlier full shard)",
+					si.Rank, si.RefEpoch, si.BaseEpoch)
+			}
+			if !sort.SliceIsSorted(si.DeltaPages, func(a, b int) bool { return si.DeltaPages[a] < si.DeltaPages[b] }) {
+				return fmt.Errorf("ckpt: rank %d delta shard page list is not sorted", si.Rank)
+			}
+			for j, p := range si.DeltaPages {
+				if p < 0 || int64(p) >= pagesOf(si.RawSize, si.PageSize) {
+					return fmt.Errorf("ckpt: rank %d delta shard names page %d of %d", si.Rank, p, pagesOf(si.RawSize, si.PageSize))
+				}
+				if j > 0 && si.DeltaPages[j-1] == p {
+					return fmt.Errorf("ckpt: rank %d delta shard lists page %d twice", si.Rank, p)
+				}
+			}
 		}
 	}
 	return nil

@@ -9,8 +9,9 @@ package ckpt
 // is only viable with a retention policy:
 //
 //   - GCStore deletes every sealed epoch that no retained manifest reaches
-//     (liveness traced transitively through ShardInfo.RefEpoch), plus any
-//     unsealed-epoch debris left by aborted commits.
+//     (liveness traced transitively through ShardInfo.RefEpoch and, for
+//     page-delta shards, BaseEpoch), plus any unsealed-epoch debris left
+//     by aborted commits.
 //   - CompactChain rewrites a deep chain's newest epoch into a fresh
 //     self-contained epoch by streaming verified copies of every resolved
 //     shard, restoring the depth-1 restart read cost and making every
@@ -21,6 +22,7 @@ package ckpt
 
 import (
 	"fmt"
+	"io"
 	"sort"
 )
 
@@ -113,6 +115,14 @@ func GCStore(store Store, keep int) (*GCStats, error) {
 				live[ref] = true
 				queue = append(queue, ref)
 			}
+			// A page-delta shard needs its base epoch alive too: the delta
+			// object is unreadable without the full shard it diffs against.
+			if man.Shards[i].RawFormat == RawFormatPageDelta {
+				if base := man.Shards[i].BaseEpoch; !live[base] {
+					live[base] = true
+					queue = append(queue, base)
+				}
+			}
 		}
 	}
 	for _, e := range epochs {
@@ -194,7 +204,9 @@ func CompactChain(store Store, epoch int, budget *StreamBudget) (*Manifest, *Com
 	}
 	selfContained := true
 	for i := range man.Shards {
-		if man.Shards[i].RefEpoch != man.Epoch {
+		// A page-delta shard is never self-contained even when the delta
+		// object lives in this epoch: it reconstructs through its base.
+		if man.Shards[i].RefEpoch != man.Epoch || man.Shards[i].RawFormat == RawFormatPageDelta {
 			selfContained = false
 			break
 		}
@@ -218,7 +230,7 @@ func CompactChain(store Store, epoch int, budget *StreamBudget) (*Manifest, *Com
 		CaptureVT:          man.CaptureVT,
 		PaddedBytesPerRank: man.PaddedBytesPerRank,
 		Shards:             make([]ShardInfo, len(man.Shards)),
-		Version:            ManifestV3,
+		Version:            man.Version,
 		Epoch:              newEpoch,
 		Parent:             -1,
 		Tier:               man.Tier, // ModelStore re-stamps at seal
@@ -230,23 +242,36 @@ func CompactChain(store Store, epoch int, budget *StreamBudget) (*Manifest, *Com
 			si := man.Shards[i]
 			budget.Acquire(shardStreamFootprint)
 			defer budget.Release(shardStreamFootprint)
-			src, err := store.OpenShard(si.RefEpoch, si.Rank)
-			if err != nil {
-				return err
-			}
-			defer src.Close()
-			dst, err := store.PutShardStream(newEpoch, si.Rank)
-			if err != nil {
-				return err
-			}
-			if err := copyShardVerified(dst, src, si.Size, si.Checksum); err != nil {
-				//lint:allow closecheck copy already failed; dst is abandoned and the copy error surfaces
-				dst.Close()
-				return fmt.Errorf("ckpt: compacting epoch %d rank %d (shard stored in epoch %d): %w",
-					epoch, si.Rank, si.RefEpoch, err)
-			}
-			if err := dst.Close(); err != nil {
-				return err
+			if si.RawFormat == RawFormatPageDelta {
+				// A delta shard cannot be copied verbatim — the copy would
+				// still dangle off its base. Flatten it: stream the verified
+				// base+delta page merge back through a shard compressor into
+				// a self-contained full shard. The logical identity (RawSum/
+				// RawSize, page table) is unchanged; only the stored object
+				// is new.
+				if err := flattenDeltaShard(store, newEpoch, &si); err != nil {
+					return fmt.Errorf("ckpt: compacting epoch %d rank %d (delta stored in epoch %d, base in epoch %d): %w",
+						epoch, si.Rank, si.RefEpoch, si.BaseEpoch, err)
+				}
+			} else {
+				src, err := store.OpenShard(si.RefEpoch, si.Rank)
+				if err != nil {
+					return err
+				}
+				defer src.Close()
+				dst, err := store.PutShardStream(newEpoch, si.Rank)
+				if err != nil {
+					return err
+				}
+				if err := copyShardVerified(dst, src, si.Size, si.Checksum); err != nil {
+					//lint:allow closecheck copy already failed; dst is abandoned and the copy error surfaces
+					dst.Close()
+					return fmt.Errorf("ckpt: compacting epoch %d rank %d (shard stored in epoch %d): %w",
+						epoch, si.Rank, si.RefEpoch, err)
+				}
+				if err := dst.Close(); err != nil {
+					return err
+				}
 			}
 			si.RefEpoch = newEpoch
 			si.Offset = 0
@@ -274,4 +299,55 @@ func CompactChain(store Store, epoch int, budget *StreamBudget) (*Manifest, *Com
 		return nil, nil, err
 	}
 	return newMan, st, nil
+}
+
+// flattenDeltaShard rewrites one page-delta shard as a self-contained
+// chunked shard in newEpoch: the base and delta objects stream through the
+// page merger (every page CRC-checked, both objects checksum-verified) and
+// the merged logical stream recompresses directly into the new object —
+// nothing shard-sized is ever held. On success si is mutated in place into
+// the full shard's entry: RawFormatChunked, new Size/Checksum, page table
+// kept, delta linkage cleared.
+func flattenDeltaShard(store Store, newEpoch int, si *ShardInfo) error {
+	m, err := openDeltaMerge(store, si)
+	if m != nil {
+		defer m.close()
+	}
+	if err != nil {
+		return err
+	}
+	dst, err := store.PutShardStream(newEpoch, si.Rank)
+	if err != nil {
+		return err
+	}
+	sw, err := NewShardWriterLevel(si.Rank, dst, 0, si.PageSize)
+	if err != nil {
+		//lint:allow closecheck shard-writer setup failed; dst is abandoned and the setup error surfaces
+		dst.Close()
+		return err
+	}
+	// The merged stream IS the chunked raw stream; feed it straight into the
+	// writer's raw side (the page summer re-derives the table as it flows).
+	_, copyErr := io.Copy(sw.raw, m.merged)
+	sum, closeErr := sw.Close()
+	if err := m.finish(copyErr); err != nil {
+		return err
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	if sum.RawSum != si.RawSum || sum.RawSize != si.RawSize {
+		return fmt.Errorf("flattened shard does not match its manifest identity (got %d raw bytes sum %#x, want %d sum %#x)",
+			sum.RawSize, sum.RawSum, si.RawSize, si.RawSum)
+	}
+	si.RawFormat = RawFormatChunked
+	si.Size = sum.Size
+	si.Checksum = sum.Checksum
+	si.PageSums = sum.PageSums
+	si.BaseEpoch = 0
+	si.DeltaPages = nil
+	si.BaseSize = 0
+	si.DeltaRawSize = 0
+	si.DeltaRawSum = 0
+	return nil
 }

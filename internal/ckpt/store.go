@@ -22,7 +22,10 @@ package ckpt
 //     overlap (asynchronous ones).
 
 import (
+	"bufio"
 	"bytes"
+	"compress/flate"
+	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
@@ -537,8 +540,16 @@ type ModelStore struct {
 	// PadShardBytes, when positive, charges every fresh shard at this size
 	// instead of its actual blob length (reproducing the paper's padded
 	// image sizes). Reused shards are never charged — that is the
-	// incremental win.
+	// incremental win. Page-delta shards are charged pro-rata (the dirty
+	// fraction of the padded size): delta bytes are priced, never padded
+	// back up to whole shards.
 	PadShardBytes int64
+	// FlateLevel, when non-zero, selects the flate compression level fresh
+	// shards committed through this store are encoded at — the tier's codec
+	// hint (netmodel.TierSpec.FlateLevel): a fast staging tier trades ratio
+	// for encode speed, an archival tier the reverse. Zero keeps the
+	// package default.
+	FlateLevel int
 
 	mu sync.Mutex
 	// pending is keyed by epoch: with double-buffered background commits
@@ -569,6 +580,7 @@ type meteredShardWriter struct {
 	inner  io.WriteCloser
 	epoch  int
 	n      int64
+	pad    int64 // per-stream charge override (delta pro-rata pricing)
 	closed bool
 }
 
@@ -587,7 +599,9 @@ func (w *meteredShardWriter) Close() error {
 		return err
 	}
 	charged := w.n
-	if w.s.PadShardBytes > 0 {
+	if w.pad > 0 {
+		charged = w.pad
+	} else if w.s.PadShardBytes > 0 {
 		charged = w.s.PadShardBytes
 	}
 	w.s.mu.Lock()
@@ -603,6 +617,18 @@ func (s *ModelStore) PutShardStream(epoch, rank int) (io.WriteCloser, error) {
 		return nil, err
 	}
 	return &meteredShardWriter{s: s, inner: w, epoch: epoch}, nil
+}
+
+// putShardStreamPadded opens a metered stream whose Close charges `pad`
+// bytes regardless of PadShardBytes — how a page-delta shard is priced at
+// the dirty fraction of the padded image size instead of a whole padded
+// shard. pad <= 0 falls back to the default metering.
+func (s *ModelStore) putShardStreamPadded(epoch, rank int, pad int64) (io.WriteCloser, error) {
+	w, err := s.Inner.PutShardStream(epoch, rank)
+	if err != nil {
+		return nil, err
+	}
+	return &meteredShardWriter{s: s, inner: w, epoch: epoch, pad: pad}, nil
 }
 
 // OpenShard implements Store.
@@ -726,6 +752,11 @@ type CommitStats struct {
 	ReusedShards int
 	FreshBytes   int64 // compressed bytes written this epoch
 	ReusedBytes  int64 // compressed bytes referenced from earlier epochs
+	// DeltaShards/DeltaBytes count the subset of the fresh set written as
+	// page-delta objects (dirty pages only) rather than full shards; their
+	// bytes are included in FreshBytes.
+	DeltaShards int
+	DeltaBytes  int64
 }
 
 // CommitCapture runs stages 2–3 of the checkpoint pipeline for one captured
@@ -756,16 +787,45 @@ func CommitCapture(store Store, epoch int, parent *Manifest, img *JobImage) (*Ma
 type ShardSums struct {
 	Sums  []uint64
 	Sizes []int64
+	// PageSize/PageSums carry the per-rank CRC-32C page tables when the
+	// capture was hashed for page-delta commits (HashCapturePaged); nil
+	// PageSums means whole-shard diffing only. The tables are what
+	// CommitStreamed diffs against the parent's to find dirty pages.
+	PageSize int64
+	PageSums [][]uint32
 }
 
 // HashCapture hashes every rank's clockless shard identity across
 // GOMAXPROCS workers, using O(workers) memory regardless of shard sizes.
 func HashCapture(img *JobImage) (*ShardSums, error) {
+	return hashCapture(img, 0)
+}
+
+// HashCapturePaged additionally records each rank's CRC-32C page table over
+// the same pass (the page CRCs ride the FNV stream — no second walk),
+// arming CommitStreamed's page-delta diff. pageSize <= 0 selects the
+// default ShardPageBytes.
+func HashCapturePaged(img *JobImage, pageSize int64) (*ShardSums, error) {
+	if pageSize <= 0 {
+		pageSize = ShardPageBytes
+	}
+	return hashCapture(img, pageSize)
+}
+
+func hashCapture(img *JobImage, pageSize int64) (*ShardSums, error) {
 	n := len(img.Images)
 	sums := &ShardSums{Sums: make([]uint64, n), Sizes: make([]int64, n)}
+	if pageSize > 0 {
+		sums.PageSize = pageSize
+		sums.PageSums = make([][]uint32, n)
+	}
 	errs := make([]error, n)
 	fanOut(n, encodeWorkers(n), func(i int) {
-		sums.Sums[i], sums.Sizes[i], errs[i] = hashShardClockless(&img.Images[i])
+		if pageSize > 0 {
+			sums.Sums[i], sums.Sizes[i], sums.PageSums[i], errs[i] = hashShardClocklessPaged(&img.Images[i], pageSize)
+		} else {
+			sums.Sums[i], sums.Sizes[i], errs[i] = hashShardClockless(&img.Images[i])
+		}
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -781,10 +841,23 @@ func HashCapture(img *JobImage) (*ShardSums, error) {
 // writer — no whole-shard slice anywhere), and seal the manifest from the
 // writer-reported sizes and checksums. budget bounds the fan-out's
 // in-flight encode memory; nil selects a default-capacity budget.
+//
+// When sums carries page tables (HashCapturePaged), the diff is page-
+// granular: a changed rank whose parent entry has a compatible page table
+// is written as a RawFormatPageDelta object holding only its dirty pages,
+// anchored at the chain's most recent FULL shard for that rank (deltas
+// never chain off deltas, so restart reads exactly two objects). The
+// manifest seals as ManifestV4.
 func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sums *ShardSums, budget *StreamBudget) (*Manifest, *CommitStats, error) {
 	n := len(img.Images)
 	if budget == nil {
 		budget = NewStreamBudget(0)
+	}
+	deltaMode := sums.PageSums != nil
+	ms, _ := store.(*ModelStore)
+	level := 0
+	if ms != nil {
+		level = ms.FlateLevel
 	}
 
 	parentByRank := make(map[int]*ShardInfo)
@@ -805,6 +878,9 @@ func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sum
 		Epoch:              epoch,
 		Parent:             -1,
 	}
+	if deltaMode {
+		man.Version = ManifestV4
+	}
 	if parent != nil {
 		man.Parent = parent.Epoch
 	}
@@ -824,21 +900,67 @@ func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sum
 			RefEpoch:  epoch,
 			RawFormat: RawFormatChunked,
 		}
+		if deltaMode {
+			si.PageSize = sums.PageSize
+			si.PageSums = sums.PageSums[i]
+		}
+		p := parentByRank[ri.Rank]
+		switch {
 		// Reuse keys on the raw identity, which includes the layout: a
 		// legacy-format parent shard never hashes equal to a chunked one, so
 		// a chain resumed from an old store re-writes (not mis-references)
 		// its first capture. The reused entry copies the parent's format so
 		// decode follows the bytes that actually exist.
-		if p := parentByRank[ri.Rank]; p != nil && p.RawSum == sums.Sums[i] && p.RawSize == sums.Sizes[i] {
+		case p != nil && p.RawSum == sums.Sums[i] && p.RawSize == sums.Sizes[i]:
 			// Unchanged since the parent capture: reference the bytes where
-			// they already live instead of rewriting them.
+			// they already live instead of rewriting them. A page-delta
+			// parent copies its whole delta identity — the reference decodes
+			// through the same base+delta pair. (A zero-dirty-pages epoch is
+			// exactly this case: identical logical bytes are a reference,
+			// never an empty delta object.)
 			si.RefEpoch = p.RefEpoch
 			si.Size = p.Size
 			si.Checksum = p.Checksum
 			si.RawFormat = p.RawFormat
+			if p.RawFormat == RawFormatPageDelta {
+				// The stored object is the parent's delta: its geometry, not
+				// this capture's, is what decode must follow.
+				si.PageSize = p.PageSize
+				si.PageSums = p.PageSums
+				si.BaseEpoch = p.BaseEpoch
+				si.DeltaPages = p.DeltaPages
+				si.BaseSize = p.BaseSize
+				si.DeltaRawSize = p.DeltaRawSize
+				si.DeltaRawSum = p.DeltaRawSum
+			} else if len(si.PageSums) == 0 {
+				// Keep a parent-recorded page table alive across reuse even
+				// when this commit is not hashing pages.
+				si.PageSize = p.PageSize
+				si.PageSums = p.PageSums
+			}
 			st.ReusedShards++
 			st.ReusedBytes += p.Size
-		} else {
+		case deltaMode && deltaEligible(p, sums, i):
+			// Changed, but page-diffable: store only the dirty pages against
+			// the chain's full base shard for this rank.
+			dirty := dirtyPages(p, sums.PageSums[i])
+			baseEpoch, baseSize := p.RefEpoch, p.Size
+			if p.RawFormat == RawFormatPageDelta {
+				baseEpoch, baseSize = p.BaseEpoch, p.BaseSize
+			}
+			// Re-anchor once the dirty set stops paying: past half the pages
+			// the delta object (plus the base read at restart) costs more
+			// than a self-contained full shard ever would.
+			if int64(len(dirty))*2 > pagesOf(sums.Sizes[i], sums.PageSize) || len(dirty) == 0 {
+				fresh = append(fresh, i)
+				break
+			}
+			si.RawFormat = RawFormatPageDelta
+			si.BaseEpoch = baseEpoch
+			si.BaseSize = baseSize
+			si.DeltaPages = dirty
+			fresh = append(fresh, i)
+		default:
 			fresh = append(fresh, i)
 		}
 		man.Shards[i] = si
@@ -852,20 +974,46 @@ func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sum
 		ferrs[j] = func() error {
 			i := fresh[j]
 			ri := &img.Images[i]
+			si := &man.Shards[i]
 			budget.Acquire(shardStreamFootprint)
 			defer budget.Release(shardStreamFootprint)
-			dst, err := store.PutShardStream(epoch, ri.Rank)
+			dst, err := openFreshStream(store, ms, epoch, si)
 			if err != nil {
 				return err
 			}
-			sw, err := NewShardWriter(ri.Rank, dst)
-			if err != nil {
-				//lint:allow closecheck shard-writer setup failed; dst is abandoned and the setup error surfaces
-				dst.Close()
-				return err
+			var sum ShardSummary
+			var encErr, closeErr error
+			if si.RawFormat == RawFormatPageDelta {
+				dw, err := NewShardDeltaWriter(ri.Rank, dst, level, shardDeltaHeader{
+					Rank: ri.Rank, BaseEpoch: si.BaseEpoch,
+					PageSize: si.PageSize, RawSize: si.RawSize, Pages: si.DeltaPages,
+				})
+				if err != nil {
+					//lint:allow closecheck delta-writer setup failed; dst is abandoned and the setup error surfaces
+					dst.Close()
+					return err
+				}
+				encErr = writeShardRaw(dw, ri, true)
+				var dsum ShardDeltaSummary
+				dsum, closeErr = dw.Close()
+				sum = ShardSummary{Size: dsum.Size, Checksum: dsum.Checksum,
+					RawSize: dsum.RawSize, RawSum: dsum.RawSum}
+				si.DeltaRawSize = dsum.DeltaRawSize
+				si.DeltaRawSum = dsum.DeltaRawSum
+			} else {
+				pageSize := int64(0)
+				if deltaMode {
+					pageSize = sums.PageSize
+				}
+				sw, err := NewShardWriterLevel(ri.Rank, dst, level, pageSize)
+				if err != nil {
+					//lint:allow closecheck shard-writer setup failed; dst is abandoned and the setup error surfaces
+					dst.Close()
+					return err
+				}
+				encErr = sw.Encode(ri, true)
+				sum, closeErr = sw.Close()
 			}
-			encErr := sw.Encode(ri, true)
-			sum, closeErr := sw.Close()
 			if encErr != nil {
 				return encErr
 			}
@@ -874,11 +1022,11 @@ func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sum
 			}
 			// The raw identity must match the pre-ticket hash: it keys the
 			// next epoch's diff, and a drift here would silently reuse a
-			// changed shard later.
+			// changed shard later. (For deltas the writer's raw counter sees
+			// the same logical stream, so the check is format-independent.)
 			if sum.RawSum != sums.Sums[i] || sum.RawSize != sums.Sizes[i] {
 				return fmt.Errorf("ckpt: rank %d shard identity drifted between hash and stream (state mutated during commit?)", ri.Rank)
 			}
-			si := &man.Shards[i]
 			si.Size = sum.Size
 			si.Checksum = sum.Checksum
 			return nil
@@ -892,11 +1040,64 @@ func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sum
 	for _, i := range fresh {
 		st.FreshShards++
 		st.FreshBytes += man.Shards[i].Size
+		if man.Shards[i].RawFormat == RawFormatPageDelta {
+			st.DeltaShards++
+			st.DeltaBytes += man.Shards[i].Size
+		}
 	}
 	if err := store.PutManifest(epoch, man); err != nil {
 		return nil, nil, err
 	}
 	return man, st, nil
+}
+
+// deltaEligible reports whether rank i's changed shard can be stored as a
+// page delta against parent entry p: the parent must carry a page table at
+// this capture's page size over an identical-length logical stream (page
+// diffs are positional), and must itself be a chunked or page-delta shard —
+// a legacy gob parent has no compatible layout and forces a clean
+// full-shard fallback.
+func deltaEligible(p *ShardInfo, sums *ShardSums, i int) bool {
+	return p != nil &&
+		(p.RawFormat == RawFormatChunked || p.RawFormat == RawFormatPageDelta) &&
+		p.PageSize == sums.PageSize && len(p.PageSums) > 0 &&
+		p.RawSize == sums.Sizes[i]
+}
+
+// dirtyPages returns the sorted dirty page set of a capture against parent
+// entry p: every page whose CRC differs from the parent's table, UNIONED
+// with the parent's own dirty set when the parent is itself a delta — the
+// new delta reconstructs against the chain's base shard, so pages the
+// parent already diverged from the base must ride along even when this
+// capture did not touch them again.
+func dirtyPages(p *ShardInfo, pages []uint32) []int32 {
+	dirty := make([]int32, 0, len(p.DeltaPages)+8)
+	carried := make(map[int32]bool, len(p.DeltaPages))
+	if p.RawFormat == RawFormatPageDelta {
+		for _, pg := range p.DeltaPages {
+			carried[pg] = true
+		}
+	}
+	for k := range pages {
+		if pages[k] != p.PageSums[k] || carried[int32(k)] {
+			dirty = append(dirty, int32(k))
+		}
+	}
+	return dirty
+}
+
+// openFreshStream opens the store stream one fresh shard encodes into,
+// routing page-delta shards through the ModelStore's pro-rata padded
+// pricing when a padded image size is configured.
+func openFreshStream(store Store, ms *ModelStore, epoch int, si *ShardInfo) (io.WriteCloser, error) {
+	if ms != nil && ms.PadShardBytes > 0 && si.RawFormat == RawFormatPageDelta {
+		pad := ms.PadShardBytes * int64(len(si.DeltaPages)) / pagesOf(si.RawSize, si.PageSize)
+		if pad < 1 {
+			pad = 1
+		}
+		return ms.putShardStreamPadded(epoch, si.Rank, pad)
+	}
+	return store.PutShardStream(epoch, si.Rank)
 }
 
 // ------------------------------------------------------------- load/verify
@@ -937,6 +1138,14 @@ func unsealedRefErr(man *Manifest, si *ShardInfo) error {
 		man.Epoch, si.Rank, si.RefEpoch)
 }
 
+// unsealedBaseErr is the same diagnostic for a page-delta shard whose base
+// epoch is gone: the delta object may be intact, but without its full base
+// shard it reconstructs nothing.
+func unsealedBaseErr(man *Manifest, si *ShardInfo) error {
+	return fmt.Errorf("ckpt: epoch %d rank %d delta-references base epoch %d, which is not sealed in the store (aborted commit or reclaimed base)",
+		man.Epoch, si.Rank, si.BaseEpoch)
+}
+
 // checkRefsSealed validates that every cross-epoch reference in a manifest
 // resolves to a SEALED epoch. A reference into an unsealed epoch directory
 // (an aborted commit, or a chain whose parent manifest was lost) must fail
@@ -946,7 +1155,7 @@ func unsealedRefErr(man *Manifest, si *ShardInfo) error {
 func checkRefsSealed(store Store, man *Manifest) error {
 	hasRefs := false
 	for i := range man.Shards {
-		if man.Shards[i].RefEpoch != man.Epoch {
+		if man.Shards[i].RefEpoch != man.Epoch || man.Shards[i].RawFormat == RawFormatPageDelta {
 			hasRefs = true
 			break
 		}
@@ -962,6 +1171,9 @@ func checkRefsSealed(store Store, man *Manifest) error {
 		si := &man.Shards[i]
 		if si.RefEpoch != man.Epoch && !sealed[si.RefEpoch] {
 			return unsealedRefErr(man, si)
+		}
+		if si.RawFormat == RawFormatPageDelta && !sealed[si.BaseEpoch] {
+			return unsealedBaseErr(man, si)
 		}
 	}
 	return nil
@@ -1015,12 +1227,19 @@ func loadShard(store Store, man *Manifest, si *ShardInfo) (*RankImage, error) {
 	if si.RefEpoch != man.Epoch {
 		at = fmt.Sprintf("epoch %d rank %d (shard stored in epoch %d)", man.Epoch, si.Rank, si.RefEpoch)
 	}
-	rc, err := store.OpenShard(si.RefEpoch, si.Rank)
-	if err != nil {
-		return nil, fmt.Errorf("ckpt: %s: %w", at, err)
+	var ri *RankImage
+	var err error
+	if si.RawFormat == RawFormatPageDelta {
+		ri, err = loadShardDelta(store, si)
+	} else {
+		var rc io.ReadCloser
+		rc, err = store.OpenShard(si.RefEpoch, si.Rank)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: %s: %w", at, err)
+		}
+		defer rc.Close()
+		ri, err = decodeShardStream(rc, si.RawSize, si.Checksum, si.RawFormat)
 	}
-	defer rc.Close()
-	ri, err := decodeShardStream(rc, si.RawSize, si.Checksum, si.RawFormat)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: %s: %w", at, err)
 	}
@@ -1031,6 +1250,153 @@ func loadShard(store Store, man *Manifest, si *ShardInfo) (*RankImage, error) {
 		// v3 shards are encoded clockless; the capture-time clock rides in
 		// the manifest.
 		ri.ClockVT = si.ClockVT
+	}
+	return ri, nil
+}
+
+// deltaMerge wires one RawFormatPageDelta shard's two stored objects — the
+// full base shard at si.BaseEpoch and the delta object at si.RefEpoch —
+// into the page-merged logical stream. Callers read `merged` (the logical
+// chunked stream, CRC-checked page by page as it assembles) and then call
+// finish, which drains both objects so every checksum covers every byte
+// and applies the verification order: a compressed-object checksum
+// mismatch wins over any decode or page error (corrupted bytes produce
+// arbitrary downstream failures; naming the corrupt object is what
+// matters). A page whose payload decompresses cleanly but fails its CRC
+// is attributed by page index — the caller's context adds epoch and rank.
+type deltaMerge struct {
+	si      *ShardInfo
+	bi      *ShardInfo
+	merged  *countReader
+	baseCr  *countReader
+	deltaCr *countReader
+	dRaw    *countReader
+	closers []io.Closer
+}
+
+func openDeltaMerge(store Store, si *ShardInfo) (*deltaMerge, error) {
+	baseMan, err := store.GetManifest(si.BaseEpoch)
+	if err != nil {
+		return nil, fmt.Errorf("reading base epoch %d manifest: %w", si.BaseEpoch, err)
+	}
+	var bi *ShardInfo
+	for i := range baseMan.Shards {
+		if baseMan.Shards[i].Rank == si.Rank {
+			bi = &baseMan.Shards[i]
+			break
+		}
+	}
+	if bi == nil {
+		return nil, fmt.Errorf("base epoch %d has no rank %d", si.BaseEpoch, si.Rank)
+	}
+	if bi.RefEpoch != si.BaseEpoch || bi.RawFormat != RawFormatChunked || bi.RawSize != si.RawSize {
+		return nil, fmt.Errorf("base epoch %d rank %d is not a full shard of %d raw bytes (format %d, stored in epoch %d, %d raw bytes)",
+			si.BaseEpoch, si.Rank, si.RawSize, bi.RawFormat, bi.RefEpoch, bi.RawSize)
+	}
+
+	m := &deltaMerge{si: si, bi: bi}
+	brc, err := store.OpenShard(si.BaseEpoch, si.Rank)
+	if err != nil {
+		return nil, fmt.Errorf("opening base shard in epoch %d: %w", si.BaseEpoch, err)
+	}
+	m.closers = append(m.closers, brc)
+	m.baseCr = newCountReader(brc)
+	baseFl := flate.NewReader(m.baseCr)
+	m.closers = append(m.closers, baseFl)
+
+	drc, err := store.OpenShard(si.RefEpoch, si.Rank)
+	if err != nil {
+		m.close()
+		return nil, err
+	}
+	m.closers = append(m.closers, drc)
+	m.deltaCr = newCountReader(drc)
+	deltaFl := flate.NewReader(m.deltaCr)
+	m.closers = append(m.closers, deltaFl)
+	m.dRaw = newCountReader(deltaFl)
+	dbr := bufio.NewReader(m.dRaw)
+
+	magic := make([]byte, len(shardDeltaMagic))
+	if _, err := io.ReadFull(dbr, magic); err != nil {
+		return m, fmt.Errorf("reading delta header: %w", err)
+	}
+	if !bytes.Equal(magic, shardDeltaMagic) {
+		return m, fmt.Errorf("delta stream has bad magic %q", magic)
+	}
+	var hdr shardDeltaHeader
+	if err := gob.NewDecoder(newCappedMessageReader(dbr, si.DeltaRawSize)).Decode(&hdr); err != nil {
+		return m, fmt.Errorf("decoding delta header: %w", err)
+	}
+	if hdr.Rank != si.Rank || hdr.BaseEpoch != si.BaseEpoch || hdr.PageSize != si.PageSize ||
+		hdr.RawSize != si.RawSize || len(hdr.Pages) != len(si.DeltaPages) {
+		return m, fmt.Errorf("delta header disagrees with the manifest (rank %d, base epoch %d, page size %d, raw %d, %d dirty pages)",
+			hdr.Rank, hdr.BaseEpoch, hdr.PageSize, hdr.RawSize, len(hdr.Pages))
+	}
+	m.merged = newCountReader(newDeltaMergeReader(baseFl, dbr, si))
+	return m, nil
+}
+
+func (m *deltaMerge) close() {
+	for i := len(m.closers) - 1; i >= 0; i-- {
+		m.closers[i].Close()
+	}
+}
+
+// finish drains both raw streams, then both stored objects (trailing
+// garbage is corruption, exactly as in the single-object decode path),
+// and settles the verdict against decErr, the caller's decode result.
+func (m *deltaMerge) finish(decErr error) error {
+	si, bi := m.si, m.bi
+	if decErr == nil && (m.merged.n != si.RawSize || m.merged.h.Sum64() != si.RawSum) {
+		decErr = fmt.Errorf("merged stream does not match the manifest identity (got %d bytes sum %#x, want %d bytes sum %#x)",
+			m.merged.n, m.merged.h.Sum64(), si.RawSize, si.RawSum)
+	}
+	if _, err := io.Copy(io.Discard, m.dRaw); err != nil && decErr == nil {
+		decErr = fmt.Errorf("decompressing delta shard: %w", err)
+	}
+	if _, err := io.Copy(io.Discard, m.deltaCr); err != nil && decErr == nil {
+		decErr = fmt.Errorf("reading delta shard: %w", err)
+	}
+	if _, err := io.Copy(io.Discard, m.baseCr); err != nil && decErr == nil {
+		decErr = fmt.Errorf("reading base shard: %w", err)
+	}
+	if got := m.deltaCr.h.Sum64(); got != si.Checksum {
+		return fmt.Errorf("shard corrupted (checksum %x, want %x)", got, si.Checksum)
+	}
+	if got := m.baseCr.h.Sum64(); got != bi.Checksum {
+		return fmt.Errorf("base shard in epoch %d corrupted (checksum %x, want %x)", si.BaseEpoch, got, bi.Checksum)
+	}
+	if decErr != nil {
+		return decErr
+	}
+	if m.deltaCr.n != si.Size || m.dRaw.n != si.DeltaRawSize || m.dRaw.h.Sum64() != si.DeltaRawSum {
+		return fmt.Errorf("delta stream does not match the manifest (stored %d bytes, raw %d sum %#x; want %d, raw %d sum %#x)",
+			m.deltaCr.n, m.dRaw.n, m.dRaw.h.Sum64(), si.Size, si.DeltaRawSize, si.DeltaRawSum)
+	}
+	return nil
+}
+
+// loadShardDelta reconstructs one RawFormatPageDelta shard's rank image by
+// streaming the base+delta merge straight into the shard decoder — one-page
+// merge memory, nothing shard-sized buffered.
+func loadShardDelta(store Store, si *ShardInfo) (*RankImage, error) {
+	m, err := openDeltaMerge(store, si)
+	if m != nil {
+		defer m.close()
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The bufio layer reads ahead of the header's gob decoder but stays on
+	// this side of the merged counter, so the drained count is exact.
+	ri, decErr := readShardRaw(bufio.NewReader(m.merged), si.RawSize)
+	if decErr == nil {
+		if _, err := io.Copy(io.Discard, m.merged); err != nil {
+			decErr = fmt.Errorf("merging pages: %w", err)
+		}
+	}
+	if err := m.finish(decErr); err != nil {
+		return nil, err
 	}
 	return ri, nil
 }
@@ -1049,13 +1415,16 @@ func ExtractRankFromStore(store Store, epoch, rank int) (*RankImage, error) {
 		if si.Rank != rank {
 			continue
 		}
-		if si.RefEpoch != man.Epoch {
+		if si.RefEpoch != man.Epoch || si.RawFormat == RawFormatPageDelta {
 			sealed, err := sealedSet(store)
 			if err != nil {
 				return nil, err
 			}
-			if !sealed[si.RefEpoch] {
+			if si.RefEpoch != man.Epoch && !sealed[si.RefEpoch] {
 				return nil, unsealedRefErr(man, si)
+			}
+			if si.RawFormat == RawFormatPageDelta && !sealed[si.BaseEpoch] {
+				return nil, unsealedBaseErr(man, si)
 			}
 		}
 		return loadShard(store, man, si)
@@ -1083,10 +1452,31 @@ func ReadSetOf(man *Manifest) []netmodel.EpochRead {
 			byEpoch[si.RefEpoch] = r
 		}
 		r.Shards++
-		if man.PaddedBytesPerRank > 0 {
+		switch {
+		case man.PaddedBytesPerRank > 0 && si.RawFormat == RawFormatPageDelta:
+			// A delta object holds only the dirty fraction; padding it back
+			// up to a whole shard would erase exactly the read-cost win the
+			// format exists for. The base shard is charged separately below.
+			r.Bytes += man.PaddedBytesPerRank * int64(len(si.DeltaPages)) / pagesOf(si.RawSize, si.PageSize)
+		case man.PaddedBytesPerRank > 0:
 			r.Bytes += man.PaddedBytesPerRank
-		} else {
+		default:
 			r.Bytes += si.Size
+		}
+		if si.RawFormat == RawFormatPageDelta {
+			// Restart also reads the full base shard the delta reconstructs
+			// against — a second fan-in, priced on its own epoch.
+			b := byEpoch[si.BaseEpoch]
+			if b == nil {
+				b = &netmodel.EpochRead{Epoch: si.BaseEpoch}
+				byEpoch[si.BaseEpoch] = b
+			}
+			b.Shards++
+			if man.PaddedBytesPerRank > 0 {
+				b.Bytes += man.PaddedBytesPerRank
+			} else {
+				b.Bytes += si.BaseSize
+			}
 		}
 	}
 	if byEpoch[man.Epoch] == nil {
@@ -1175,6 +1565,13 @@ func VerifyStore(store Store) ([]StoreFault, error) {
 				faults = append(faults, StoreFault{
 					Epoch: e, Rank: si.Rank, RefEpoch: si.RefEpoch,
 					Err: fmt.Errorf("references epoch %d, which is not sealed in the store", si.RefEpoch),
+				})
+				continue
+			}
+			if si.RawFormat == RawFormatPageDelta && !sealed[si.BaseEpoch] {
+				faults = append(faults, StoreFault{
+					Epoch: e, Rank: si.Rank, RefEpoch: si.BaseEpoch,
+					Err: fmt.Errorf("delta-references base epoch %d, which is not sealed in the store", si.BaseEpoch),
 				})
 				continue
 			}

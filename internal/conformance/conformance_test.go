@@ -204,6 +204,27 @@ func TestIncrementalChain(t *testing.T) {
 	}
 }
 
+// TestDeltaChain: the page-delta conformance sweep — a page-scale straggler
+// chain with Delta on must store some fresh shards as page deltas, write
+// fewer fresh bytes per capture than whole-shard reuse, restart
+// digest-identical from every sealed epoch, stay within the encode budget,
+// and attribute corruption of a delta's base shard.
+func TestDeltaChain(t *testing.T) {
+	rpt, err := VerifyDeltaChain(rt.AlgoCC, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("delta chain: %s", rpt)
+	if rpt.DeltaShards == 0 {
+		t.Fatal("delta chain stored no page deltas")
+	}
+	if !testing.Short() {
+		if _, err := VerifyDeltaChain(rt.Algo2PC, Options{Logf: t.Logf}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestLifecycle: the GC + compaction conformance sweep — compaction must
 // restore the depth-1 restart read without changing the restored state, GC
 // must reclaim exactly the dead chain while transitive liveness protects

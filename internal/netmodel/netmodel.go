@@ -60,6 +60,11 @@ type Params struct {
 	StorageSeek    float64 // per-shard positioning cost on chained restart reads (s)
 	StorageStagger float64 // per-additional-node open stagger (metadata contention) (s)
 	RestartFixed   float64 // fixed lower-half re-initialization cost (s)
+	// StorageFlateLevel is the PFS tier's codec hint: the flate level shard
+	// encoders use for epochs committed to this tier (0 = encoder default,
+	// otherwise a valid compress/flate level). Advisory — see
+	// TierSpec.FlateLevel.
+	StorageFlateLevel int
 
 	// Burst-buffer tier (node-local NVMe or a dedicated staging appliance).
 	// Both bandwidths zero means the system has no burst tier: TierBurstBuffer
@@ -69,6 +74,9 @@ type Params struct {
 	BurstLatency float64 // fixed open cost per operation on the burst tier (s)
 	BurstSeek    float64 // per-shard positioning cost on burst-tier reads (s)
 	BurstStagger float64 // per-additional-node open stagger on the burst tier (s)
+	// BurstFlateLevel is the burst tier's codec hint (same semantics as
+	// StorageFlateLevel): a fast staging tier typically picks BestSpeed.
+	BurstFlateLevel int
 }
 
 // PerlmutterLike returns parameters tuned to resemble a Slingshot-11 system
@@ -99,6 +107,9 @@ func PerlmutterLike() Params {
 		BurstLatency:   0.01,
 		BurstSeek:      1e-4,
 		BurstStagger:   0,
+		// The burst tier is bandwidth-rich staging: pin BestSpeed explicitly
+		// (the PFS tier keeps the encoder default via 0).
+		BurstFlateLevel: 1,
 	}
 }
 
@@ -146,6 +157,18 @@ func (p Params) Validate() error {
 	}
 	if p.EagerThreshold < 0 {
 		return fmt.Errorf("netmodel: EagerThreshold must be >= 0")
+	}
+	// Codec hints must be valid compress/flate levels (HuffmanOnly -2 ..
+	// BestCompression 9) or zero (encoder default).
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"StorageFlateLevel", p.StorageFlateLevel}, {"BurstFlateLevel", p.BurstFlateLevel},
+	} {
+		if c.v < -2 || c.v > 9 {
+			return fmt.Errorf("netmodel: parameter %s = %d is not a flate level", c.name, c.v)
+		}
 	}
 	return nil
 }

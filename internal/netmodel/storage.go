@@ -39,6 +39,12 @@ type TierSpec struct {
 	AggBW       float64 // tier-wide aggregate bandwidth cap (B/s; 0 = uncapped)
 	Seek        float64 // per-object positioning cost on random reads (s)
 	Stagger     float64 // per-additional-node open stagger under contention (s)
+	// FlateLevel is the tier's codec hint: the flate compression level
+	// checkpoint shards committed to this tier should encode at (0 keeps
+	// the encoder's default). A fast staging tier favors BestSpeed; an
+	// archival tier can spend CPU on ratio. Purely advisory — it prices
+	// nothing here; ckpt.ModelStore passes it to the shard encoders.
+	FlateLevel int
 }
 
 // HasBurstTier reports whether the parameters describe a real burst tier.
@@ -73,6 +79,7 @@ func (m *Model) Tier(t StorageTier) TierSpec {
 			AggBW:       m.P.BurstAggBW,
 			Seek:        m.P.BurstSeek,
 			Stagger:     m.P.BurstStagger,
+			FlateLevel:  m.P.BurstFlateLevel,
 		}
 	}
 	return TierSpec{
@@ -81,6 +88,7 @@ func (m *Model) Tier(t StorageTier) TierSpec {
 		AggBW:       m.P.StorageAggBW,
 		Seek:        m.P.StorageSeek,
 		Stagger:     m.P.StorageStagger,
+		FlateLevel:  m.P.StorageFlateLevel,
 	}
 }
 

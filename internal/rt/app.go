@@ -5,6 +5,8 @@
 // wrappers, parks ranks at capturable points, and performs restart.
 package rt
 
+import "io"
+
 // App is a checkpointable MPI application.
 //
 // Transparent checkpointing of raw Go stacks is impossible (the Go runtime's
@@ -50,4 +52,15 @@ type App interface {
 	Restore(data []byte) error
 	// Buffer resolves a named communication buffer.
 	Buffer(id string) []byte
+}
+
+// StreamSnapshotter is an optional App extension: an app that can serialize
+// its state directly into a writer. When implemented, the runtime's capture
+// path prefers it over Snapshot — the image buffer is filled in one pass
+// instead of build-then-copy. SnapshotTo MUST produce exactly the bytes
+// Snapshot would return: shard identity (and page-delta diffing against the
+// previous epoch) hashes the serialized stream, and the runtime's final
+// job digest still uses Snapshot.
+type StreamSnapshotter interface {
+	SnapshotTo(w io.Writer) error
 }

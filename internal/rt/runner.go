@@ -63,6 +63,12 @@ type CkptPlan struct {
 	// whose state did not change since the previous committed capture are
 	// recorded as references instead of re-written. Requires Store.
 	Incremental bool
+	// Delta enables sub-rank page deltas on top of Incremental: capture
+	// hashing keeps a per-page CRC table, and a rank whose shard changed in
+	// only a few 64 KiB pages is stored as a page-delta object holding just
+	// the dirty pages (ckpt.RawFormatPageDelta) against the chain's full
+	// base shard. Requires Store (defaulted like Incremental).
+	Delta bool
 	// Tier selects the storage tier checkpoint writes are charged against
 	// (netmodel.TierPFS by default). TierBurstBuffer stages captures on the
 	// fast tier — with Async the job stalls only for the burst open
@@ -211,12 +217,13 @@ func newCoordinator(w *mpi.World, plan *CkptPlan) (*ckpt.Coordinator, error) {
 		coord.CaptureWorkers = plan.CaptureWorkers
 		coord.Async = plan.Async
 		coord.Incremental = plan.Incremental
+		coord.Delta = plan.Delta
 		coord.Tier = plan.Tier
 		coord.StreamBudgetBytes = plan.StreamBudgetBytes
 		coord.KeepEpochs = plan.KeepEpochs
 		coord.CompactEvery = plan.CompactEvery
 		store := plan.Store
-		if store == nil && (plan.Incremental || plan.KeepEpochs > 0 || plan.CompactEvery > 0) {
+		if store == nil && (plan.Incremental || plan.Delta || plan.KeepEpochs > 0 || plan.CompactEvery > 0) {
 			// Incremental reuse needs epochs to diff against (and the
 			// lifecycle policies need epochs to manage); default to an
 			// in-memory store when the plan names none.
@@ -363,13 +370,19 @@ func runJob(cfg Config, w *mpi.World, coord *ckpt.Coordinator, factory func(rank
 			proto := coord.Algo.NewRank(p, w.WorldComm(rank))
 			env := newEnv(p, proto, coord, app, cfg.Checkpoint != nil)
 
-			coord.RegisterRank(rank, ckpt.RankHooks{
+			hooks := ckpt.RankHooks{
 				AppSnapshot:   app.Snapshot,
 				ProtoSnapshot: proto.Snapshot,
 				ClockVT:       p.Clk.Now,
 				SetClock:      p.Clk.Set,
 				PendingRecvs:  env.pendingRecvDescs,
-			})
+			}
+			if ss, ok := app.(StreamSnapshotter); ok {
+				// Streaming capture fast path: the app serializes straight
+				// into the coordinator's buffer (must match Snapshot's bytes).
+				hooks.AppSnapshotTo = ss.SnapshotTo
+			}
+			coord.RegisterRank(rank, hooks)
 
 			env.inSetup = true
 			if err := app.Setup(env); err != nil {

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Encode-path perf snapshot: runs the encode benchmarks (streaming commit
+# throughput and the page-delta fresh-byte shrink) and emits their metrics
+# as BENCH_encode.json, one object per benchmark line, so perf trajectories
+# can be diffed across commits by machines instead of eyeballs.
+#
+# Usage: scripts/bench_to_json.sh [out.json] [benchtime]
+#   out.json   defaults to BENCH_encode.json in the repo root
+#   benchtime  defaults to 1x (one capture chain per benchmark: smoke-grade)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_encode.json}
+benchtime=${2:-1x}
+
+raw=$(go test -run '^$' \
+  -bench 'BenchmarkStreamingCheckpoint|BenchmarkPageDeltaCheckpoint' \
+  -benchtime="$benchtime" -short . 2>&1) || { echo "$raw" >&2; exit 1; }
+
+# A Go benchmark line is: Name-GOMAXPROCS  iters  value unit  value unit ...
+# Everything after the iteration count alternates value/unit.
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { n = 0 }
+/^Benchmark/ && NF >= 4 {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  line = sprintf("  {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", name, $2)
+  sep = ""
+  for (i = 3; i + 1 <= NF; i += 2) {
+    line = line sprintf("%s\"%s\": %s", sep, $(i + 1), $i)
+    sep = ", "
+  }
+  lines[n++] = line "}}"
+}
+END {
+  if (n == 0) { print "bench_to_json: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+  printf "{\n\"date\": \"%s\",\n\"suite\": \"encode\",\n\"benchmarks\": [\n", date
+  for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+  print "]\n}"
+}' > "$out"
+
+echo "wrote $out:" >&2
+cat "$out"
