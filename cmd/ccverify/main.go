@@ -7,7 +7,7 @@
 //
 //	ccverify [-ranks N] [-ppn N] [-scale F] [-workloads a,b] [-algos cc,2pc]
 //	         [-min-triggers N] [-max-triggers N] [-negative] [-crossgeo]
-//	         [-incremental] [-delta] [-lifecycle] [-faults] [-v]
+//	         [-incremental] [-delta] [-lifecycle] [-contention] [-faults] [-v]
 //
 // Beyond the trigger matrix, the default run also verifies (on the first
 // runnable case) that a checkpoint restarts correctly onto a different
@@ -22,7 +22,10 @@
 // through their base epochs (-delta), that chain compaction and epoch
 // garbage collection reclaim
 // storage without changing any surviving restart and attribute dangling
-// references instead of panicking (-lifecycle), and that killing a rank
+// references instead of panicking (-lifecycle), that two tenants contending
+// for a capacity-bounded shared drain scheduler restart digest-identically
+// from every sealed epoch while backlog-forced PFS fallbacks and admission
+// waits are attributed in the stats (-contention), and that killing a rank
 // mid-drain or mid-capture aborts the coordinator with diagnostics instead
 // of wedging (-faults).
 //
@@ -55,6 +58,7 @@ func main() {
 		incremental = flag.Bool("incremental", true, "also verify async incremental FileStore chains (straggler workload)")
 		deltas      = flag.Bool("delta", true, "also verify page-delta chains (page-scale straggler workload)")
 		lifecycle   = flag.Bool("lifecycle", true, "also verify GC and chain compaction on a FileStore chain (straggler workload)")
+		contention  = flag.Bool("contention", true, "also verify multi-tenant drain backpressure (queueing and PFS fallback) restarts digest-identically")
 		faults      = flag.Bool("faults", true, "also verify rank-death fault injection (mid-drain and mid-capture)")
 		verbose     = flag.Bool("v", false, "log every trigger point")
 	)
@@ -156,6 +160,20 @@ func main() {
 			failed = true
 		} else {
 			fmt.Printf("lifecycle check (%s/%s): %s, ok\n", conformance.DefaultChainWorkload, algo, rpt)
+		}
+	}
+
+	// The contention sweep interleaves two tenants' drains through a shared
+	// capacity-bounded scheduler: backlog-forced PFS fallbacks and admission
+	// waits must be attributed in the stats while every sealed epoch of
+	// every tenant restarts digest-identically.
+	if *contention {
+		algo := algoList[0]
+		if rpt, err := conformance.VerifyContention(conformance.DefaultChainWorkload, algo, opts); err != nil {
+			fmt.Printf("contention check (%s/%s): FAIL: %v\n", conformance.DefaultChainWorkload, algo, err)
+			failed = true
+		} else {
+			fmt.Printf("contention check (%s/%s): %s, ok\n", conformance.DefaultChainWorkload, algo, rpt)
 		}
 	}
 

@@ -77,6 +77,20 @@ type CheckpointStats struct {
 	Tier        netmodel.StorageTier
 	TierDrainVT float64
 
+	// Multi-tenant backpressure (zero unless a shared DrainSched is
+	// attached). DrainQueueVT is the stall the drain backlog imposed when
+	// this epoch sealed: how long the burst tier lacked staging room for its
+	// bytes. PFSFallback marks an epoch whose wait exceeded the tolerance —
+	// the capture abandoned the burst tier and committed direct-to-PFS (Tier
+	// reads TierPFS and no drain was enqueued). AdmissionDeferred counts
+	// capture requests the admission controller refused since the previous
+	// capture because the backlog exceeded its budget; the runner retries
+	// them at later boundaries, so the count attributes the induced
+	// checkpoint-interval stretch to this (eventually admitted) capture.
+	DrainQueueVT      float64
+	PFSFallback       bool
+	AdmissionDeferred int
+
 	// Epoch is the store epoch this capture committed as, or -1 when the
 	// plan has no store (the image stays an in-memory blob).
 	Epoch int
@@ -225,6 +239,28 @@ type Coordinator struct {
 	// epoch that is already self-contained resets the counter for free.
 	CompactEvery int
 
+	// DrainSched, when set, shares this job's burst→PFS drains with other
+	// tenants through a netmodel.DrainScheduler instead of assuming the PFS
+	// bandwidth is private (PR 4's unscheduled TierDrainVT pricing). It only
+	// applies to the staged store path — the blob path has no commit stage
+	// to arbitrate. JobID keys this coordinator's traffic in the shared
+	// accounting and DrainPriority ranks it under the priority policy.
+	DrainSched    *netmodel.DrainScheduler
+	JobID         int
+	DrainPriority int
+
+	// FallbackWaitVT is the longest backpressure wait a sealing epoch
+	// tolerates before abandoning the burst tier for a direct PFS commit
+	// (see ModelStore.FallbackWaitVT). Zero tolerates no wait.
+	FallbackWaitVT float64
+
+	// AdmitBacklogBytes, when positive (and DrainSched is set), is the
+	// admission controller's budget: a checkpoint request raised while the
+	// scheduler's backlog exceeds it is refused outright — the runner
+	// retries at a later boundary — rather than letting every tenant pile
+	// more staging traffic onto a tier that cannot absorb it.
+	AdmitBacklogBytes int64
+
 	pending atomic.Bool // fast-path flag read in every wrapper
 
 	mu        sync.Mutex
@@ -240,6 +276,10 @@ type Coordinator struct {
 	// raised; captureLocked reports deltas against them so chained
 	// checkpoints don't double-count earlier drains.
 	baseSent, baseRecv, baseTests int64
+
+	// deferred counts admission-control refusals since the last capture;
+	// folded into the next capture's AdmissionDeferred (guarded by c.mu).
+	deferred int
 
 	image   *JobImage
 	stats   CheckpointStats
@@ -377,6 +417,23 @@ func (c *Coordinator) Poke() {
 // uneven-progress jobs the fast ranks could otherwise burn through every
 // trigger boundary before a slow waker re-enables the chain).
 func (c *Coordinator) RequestCheckpoint(vt float64) bool {
+	// Admission control: with a shared drain scheduler and a backlog budget,
+	// a request raised while the staging backlog exceeds the budget is
+	// refused before it can park a single rank. The runner's periodic
+	// trigger retries at the next boundary, so a refusal stretches this
+	// job's effective checkpoint interval instead of deepening a backlog the
+	// tier cannot absorb. (Backlog is read outside c.mu — the scheduler has
+	// its own lock and the check is advisory: a request admitted against a
+	// stale backlog is still priced correctly at seal time.)
+	if c.DrainSched != nil && c.AdmitBacklogBytes > 0 && c.store != nil &&
+		c.DrainSched.Backlog(vt) > c.AdmitBacklogBytes {
+		c.mu.Lock()
+		if c.ph == phaseIdle || c.ph == phaseReleased {
+			c.deferred++
+		}
+		c.mu.Unlock()
+		return false
+	}
 	c.mu.Lock()
 	if c.ph != phaseIdle && c.ph != phaseReleased {
 		c.mu.Unlock()
@@ -558,9 +615,13 @@ func (c *Coordinator) captureLocked() {
 		Epoch:          -1,
 		CompactedEpoch: -1,
 		Tier:           c.W.Model.EffectiveTier(c.Tier),
+		// Refusals accrued since the previous capture are attributed to this
+		// one: they are the admissions this capture eventually won.
+		AdmissionDeferred: c.deferred,
 		//lint:allow wallclock CaptureHostSeconds deliberately reports host-side encode cost
 		CaptureHostSeconds: time.Since(captureStart).Seconds(),
 	}
+	c.deferred = 0
 	// Drain-progress census, as per-checkpoint deltas against the request-
 	// time baselines (cumulative sums would fold every earlier chained
 	// checkpoint's drain into this one's stats). Every live rank is blocked
@@ -670,6 +731,8 @@ type commitResult struct {
 	stats       *CommitStats
 	cost        netmodel.WriteCost
 	drain       float64 // background PFS drain of a burst-tier epoch
+	queue       float64 // backpressure wait the drain backlog imposed at seal
+	fallback    bool    // backlog forced this epoch direct-to-PFS
 	peakEncode  int64   // streaming encoder's in-flight high-water mark
 	hostSeconds float64
 	err         error
@@ -733,6 +796,13 @@ func (c *Coordinator) commitEpoch(epoch int, img *JobImage) commitResult {
 	// The commit tier's codec hint selects the encoders' flate level (the
 	// effective tier: an absent burst tier resolves to the PFS constants).
 	c.store.FlateLevel = c.W.Model.Tier(c.W.Model.EffectiveTier(c.Tier)).FlateLevel
+	// Multi-tenant drain arbitration: the sealing epoch submits its drain to
+	// the shared scheduler (and takes the backpressure/fallback decision)
+	// inside PutManifest, under this same commit ticket.
+	c.store.Drains = c.DrainSched
+	c.store.JobID = c.JobID
+	c.store.Priority = c.DrainPriority
+	c.store.FallbackWaitVT = c.FallbackWaitVT
 	if c.budget == nil {
 		c.budget = NewStreamBudget(c.StreamBudgetBytes)
 	}
@@ -751,6 +821,8 @@ func (c *Coordinator) commitEpoch(epoch int, img *JobImage) commitResult {
 	res := commitResult{
 		epoch: epoch, stats: st, cost: c.store.EpochCost(epoch),
 		drain:      c.store.EpochDrain(epoch),
+		queue:      c.store.EpochQueue(epoch),
+		fallback:   c.store.EpochFallback(epoch),
 		peakEncode: peak,
 		compacted:  -1,
 	}
@@ -849,6 +921,15 @@ func (c *Coordinator) applyCommitLocked(histIdx int, res commitResult) {
 		e.StallVT = res.cost.Stall
 		e.OverlapVT = res.cost.Overlap
 		e.TierDrainVT = res.drain
+		e.DrainQueueVT = res.queue
+		if res.fallback {
+			// The backlog forced this epoch direct-to-PFS at seal time: the
+			// stats follow the tier the bytes were actually charged (and the
+			// manifest stamped) against, so restart pricing and the history
+			// agree on where the epoch lives.
+			e.PFSFallback = true
+			e.Tier = netmodel.TierPFS
+		}
 		e.FreshShards = res.stats.FreshShards
 		e.ReusedShards = res.stats.ReusedShards
 		e.FreshBytes = res.stats.FreshBytes

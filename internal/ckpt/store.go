@@ -28,6 +28,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -551,6 +552,25 @@ type ModelStore struct {
 	// package default.
 	FlateLevel int
 
+	// Drains, when set, submits every burst-tier epoch's background PFS
+	// drain to a shared multi-tenant scheduler instead of assuming the
+	// drain owns the PFS bandwidth. The standalone pricing recorded by
+	// EpochDrain is unchanged (it is exactly the request's uncontended
+	// service time); what the scheduler adds is backpressure — a bounded
+	// staging capacity whose backlog delays admission (EpochQueue) or, past
+	// FallbackWaitVT, forces the epoch straight to the PFS (EpochFallback).
+	Drains *netmodel.DrainScheduler
+	// JobID keys this store's traffic in the shared scheduler's accounting.
+	JobID int
+	// Priority ranks this store's drains under the scheduler's priority
+	// policy (higher serves first; ignored by the other policies).
+	Priority int
+	// FallbackWaitVT is the longest admission delay a sealing epoch
+	// tolerates before abandoning the burst tier: a backlog that cannot
+	// make room within it forces the epoch direct-to-PFS. Zero tolerates no
+	// wait at all (any backlog past capacity falls back).
+	FallbackWaitVT float64
+
 	mu sync.Mutex
 	// pending is keyed by epoch: with double-buffered background commits
 	// two epochs meter bytes concurrently, and aborting one must not
@@ -558,6 +578,18 @@ type ModelStore struct {
 	pending map[int]int64
 	costs   map[int]netmodel.WriteCost
 	drains  map[int]float64 // burst-tier epochs: background PFS drain time
+	// drainBytes records the staged bytes behind each entry of drains (the
+	// scheduler request size; kept even without a scheduler so callers can
+	// audit the byte accounting the drain prices).
+	drainBytes map[int]int64
+	queues     map[int]float64 // backpressure: admission wait charged at seal
+	fallbacks  map[int]bool    // epochs the backlog forced direct-to-PFS
+
+	// Cumulative drain totals. Unlike drainBytes these survive DeleteEpoch,
+	// so a job's lifetime staging volume stays auditable after GC and
+	// compaction have retired the epochs that produced it.
+	totalDrainBytes int64
+	totalDrains     int
 }
 
 // NewModelStore wraps a store with the storage cost model (parallel-FS tier
@@ -565,9 +597,12 @@ type ModelStore struct {
 func NewModelStore(inner Store, model *netmodel.Model, nodes int) *ModelStore {
 	return &ModelStore{
 		Inner: inner, Model: model, Nodes: nodes,
-		pending: make(map[int]int64),
-		costs:   make(map[int]netmodel.WriteCost),
-		drains:  make(map[int]float64),
+		pending:    make(map[int]int64),
+		costs:      make(map[int]netmodel.WriteCost),
+		drains:     make(map[int]float64),
+		drainBytes: make(map[int]int64),
+		queues:     make(map[int]float64),
+		fallbacks:  make(map[int]bool),
 	}
 }
 
@@ -649,21 +684,61 @@ func (s *ModelStore) GetShard(epoch, rank int) ([]byte, error) { return s.Inner.
 // configured tier, stamping the manifest with the tier before it is encoded
 // so the chain records where its bytes landed. Burst-tier epochs also
 // accrue the background PFS drain cost for the same bytes.
+//
+// With a shared drain scheduler attached, sealing is also the backpressure
+// decision point: the scheduler is asked how long past the capture time the
+// drain backlog needs to make staging room for this epoch's bytes. A wait
+// within FallbackWaitVT is charged as the epoch's queue stall (EpochQueue)
+// and shifts the drain's arrival; a longer one abandons the burst tier —
+// the epoch is stamped, charged, and restart-priced as a direct PFS write
+// (EpochFallback), and no drain is enqueued. The tier choice is pure
+// accounting (the shards physically land in the inner store either way), so
+// deciding it at seal time re-prices the epoch without rewriting any data.
 func (s *ModelStore) PutManifest(epoch int, man *Manifest) error {
 	// The EFFECTIVE tier is stamped and charged: requesting the burst tier
 	// on a one-tier system is a plain PFS write, and fabricating a drain
 	// for it would double-count the storage traffic.
 	tier := s.Model.EffectiveTier(s.Tier)
+	s.mu.Lock()
+	pending := s.pending[epoch]
+	s.mu.Unlock()
+	queue, fallback := 0.0, false
+	if tier != netmodel.TierPFS && s.Drains != nil {
+		wait := s.Drains.AdmitDelay(man.CaptureVT, pending)
+		if math.IsInf(wait, 1) || wait > s.FallbackWaitVT {
+			tier, fallback = netmodel.TierPFS, true
+		} else {
+			queue = wait
+		}
+	}
 	man.Tier = int(tier)
 	if err := s.Inner.PutManifest(epoch, man); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	pending := s.pending[epoch]
+	// Re-read under the lock: the sealed-last contract means every shard
+	// writer has closed by now, but the defensive re-read keeps the charge
+	// consistent even if a stray late close raced the snapshot above.
+	pending = s.pending[epoch]
 	s.costs[epoch] = s.Model.TierWriteCost(tier, pending, s.Nodes, s.Overlapped)
+	if queue > 0 {
+		s.queues[epoch] = queue
+	}
+	if fallback {
+		s.fallbacks[epoch] = true
+	}
 	if tier != netmodel.TierPFS {
 		s.drains[epoch] = s.Model.TierWriteTime(netmodel.TierPFS, pending, s.Nodes)
+		s.drainBytes[epoch] = pending
+		s.totalDrainBytes += pending
+		s.totalDrains++
+		if s.Drains != nil {
+			s.Drains.Enqueue(netmodel.DrainRequest{
+				Job: s.JobID, Epoch: epoch, Bytes: pending, Nodes: s.Nodes,
+				VT: man.CaptureVT + queue, Priority: s.Priority,
+			})
+		}
 	}
 	delete(s.pending, epoch)
 	return nil
@@ -689,6 +764,9 @@ func (s *ModelStore) DeleteEpoch(epoch int) (int64, error) {
 	s.mu.Lock()
 	delete(s.costs, epoch)
 	delete(s.drains, epoch)
+	delete(s.drainBytes, epoch)
+	delete(s.queues, epoch)
+	delete(s.fallbacks, epoch)
 	s.mu.Unlock()
 	return n, err
 }
@@ -725,6 +803,51 @@ func (s *ModelStore) EpochDrain(epoch int) float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.drains[epoch]
+}
+
+// EpochDrainBytes returns the staged bytes behind a burst-tier epoch's drain
+// (the scheduler request size). Zero for direct-PFS epochs — including
+// backlog-forced fallbacks, which never stage anything.
+func (s *ModelStore) EpochDrainBytes(epoch int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drainBytes[epoch]
+}
+
+// TotalDrainBytes returns the cumulative bytes this store has ever staged for
+// background drain, across all epochs including ones since garbage-collected
+// or compacted away. When the store feeds a DrainScheduler this equals the
+// scheduler's per-job byte meter for this store's JobID.
+func (s *ModelStore) TotalDrainBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalDrainBytes
+}
+
+// TotalDrains returns the cumulative count of drain requests this store has
+// recorded (one per burst-tier seal, including compacted epochs).
+func (s *ModelStore) TotalDrains() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalDrains
+}
+
+// EpochQueue returns the backpressure stall charged when the epoch sealed:
+// how long the drain backlog made the epoch wait for staging room. Zero
+// without a scheduler, without a capacity bound, or when room existed at the
+// capture time.
+func (s *ModelStore) EpochQueue(epoch int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queues[epoch]
+}
+
+// EpochFallback reports whether the drain backlog forced this epoch to
+// abandon the burst tier and commit direct-to-PFS.
+func (s *ModelStore) EpochFallback(epoch int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fallbacks[epoch]
 }
 
 // AbortEpoch discards bytes metered toward one epoch whose commit failed

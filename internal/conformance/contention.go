@@ -1,0 +1,240 @@
+package conformance
+
+// Multi-tenant drain contention conformance: when several jobs' burst->PFS
+// drains share one DrainScheduler, backpressure may delay staging (charged
+// as DrainQueueVT) or force an epoch straight to the PFS (marked
+// PFSFallback). Neither path is allowed to change WHAT was checkpointed —
+// every sealed epoch of every tenant must restart digest-identical to the
+// golden run — and the per-job byte accounting must partition exactly.
+
+import (
+	"fmt"
+	"os"
+
+	"mana/internal/ckpt"
+	"mana/internal/netmodel"
+	"mana/internal/rt"
+)
+
+// ContentionReport summarizes a verified multi-tenant contention sweep.
+type ContentionReport struct {
+	Epochs     int // sealed epochs across the two interleaved jobs
+	Staged     int // burst-tier epochs that drained through the scheduler
+	Fallbacks  int // backlog-forced direct-to-PFS epochs
+	Queued     int // epochs charged a positive admission wait (patient leg)
+	MaxQueueVT float64
+	Restarts   int // sealed-epoch restarts verified digest-identical
+}
+
+func (r *ContentionReport) String() string {
+	return fmt.Sprintf("%d epochs (%d staged, %d forced to PFS, %d queued up to %.3gs), %d restarts digest-identical",
+		r.Epochs, r.Staged, r.Fallbacks, r.Queued, r.MaxQueueVT, r.Restarts)
+}
+
+// runContended executes the workload with periodic burst-tier incremental
+// captures whose drains go through the shared scheduler.
+func runContended(o *Options, algo string, goldenRep *rt.Report, factory func(int) rt.App,
+	dir string, sched *netmodel.DrainScheduler, job int, fallbackWait float64) (*rt.Report, *ckpt.FileStore, error) {
+	fs, err := ckpt.NewFileStore(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := baseConfig(o, algo)
+	plan := chainPlan(goldenRep, 3)
+	plan.Store = fs
+	plan.Incremental = true
+	plan.Tier = netmodel.TierBurstBuffer
+	plan.DrainSched = sched
+	plan.JobID = job
+	plan.FallbackWaitVT = fallbackWait
+	cfg.Checkpoint = &plan
+	rep, err := rt.Run(cfg, factory)
+	if err != nil {
+		return nil, nil, fmt.Errorf("contended run (job %d): %w", job, err)
+	}
+	if !rep.Completed {
+		return nil, nil, fmt.Errorf("contended run (job %d) did not complete", job)
+	}
+	if rep.StateDigest != goldenRep.StateDigest {
+		return nil, nil, fmt.Errorf("contended run (job %d) diverged from golden: %.12s != %.12s",
+			job, rep.StateDigest, goldenRep.StateDigest)
+	}
+	return rep, fs, nil
+}
+
+// checkContended validates one tenant's capture history against its store:
+// stats tier and manifest tier must agree epoch by epoch, fallback epochs
+// must be re-tiered to the PFS with no drain scheduled, and staged epochs
+// must carry a drain. Returns (staged, fallbacks, queued, maxQueue).
+func checkContended(rep *rt.Report, fs *ckpt.FileStore, job int) (int, int, int, float64, error) {
+	staged, fallbacks, queued := 0, 0, 0
+	maxQueue := 0.0
+	for _, st := range rep.CheckpointHistory {
+		man, err := fs.GetManifest(st.Epoch)
+		if err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("job %d epoch %d: %w", job, st.Epoch, err)
+		}
+		if netmodel.StorageTier(man.Tier) != st.Tier {
+			return 0, 0, 0, 0, fmt.Errorf("job %d epoch %d: manifest tier %d disagrees with stats tier %v",
+				job, st.Epoch, man.Tier, st.Tier)
+		}
+		switch {
+		case st.PFSFallback:
+			if st.Tier != netmodel.TierPFS {
+				return 0, 0, 0, 0, fmt.Errorf("job %d epoch %d: fallback epoch still on tier %v", job, st.Epoch, st.Tier)
+			}
+			if st.DrainQueueVT != 0 {
+				return 0, 0, 0, 0, fmt.Errorf("job %d epoch %d: fallback epoch charged a queue wait %g", job, st.Epoch, st.DrainQueueVT)
+			}
+			if st.TierDrainVT != 0 {
+				return 0, 0, 0, 0, fmt.Errorf("job %d epoch %d: fallback epoch still scheduled a drain", job, st.Epoch)
+			}
+			fallbacks++
+		case st.Tier == netmodel.TierBurstBuffer:
+			if st.TierDrainVT <= 0 {
+				return 0, 0, 0, 0, fmt.Errorf("job %d epoch %d: staged epoch accrued no drain", job, st.Epoch)
+			}
+			staged++
+			if st.DrainQueueVT > 0 {
+				queued++
+				if st.DrainQueueVT > maxQueue {
+					maxQueue = st.DrainQueueVT
+				}
+			}
+		default:
+			return 0, 0, 0, 0, fmt.Errorf("job %d epoch %d: unexpected tier %v under contention", job, st.Epoch, st.Tier)
+		}
+	}
+	return staged, fallbacks, queued, maxQueue, nil
+}
+
+// VerifyContention runs the multi-tenant backpressure sweep for one
+// workload x algorithm: two jobs interleave their drains through a shared
+// capacity-bounded scheduler tuned so the first sealed epoch fills the
+// staging capacity and later seals are forced direct to the PFS, then a
+// "patient" tenant absorbs the same backlog as admission waits instead.
+// Every sealed epoch of every leg must restart digest-identical.
+func VerifyContention(wl, algo string, opts Options) (*ContentionReport, error) {
+	o := opts.withDefaults()
+	if err := notRunnable(wl, algo); err != nil {
+		return nil, err
+	}
+	goldenRep, factory, _, err := adaptedGolden(&o, wl, algo)
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := os.MkdirTemp("", "ckpt-contention-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	m := netmodel.New(netmodel.EthernetLike(), o.PPN)
+
+	// Probe: one uncontended tenant sizes the staging capacity at 1.5x its
+	// largest single request. The headroom matters: capture-trigger VTs
+	// race between runs at the nanosecond level, shifting which content
+	// lands in which epoch, so request sizes wobble a few percent across
+	// runs — but no single request can outgrow 1.5x, while the backlog of
+	// a couple of undrained epochs still overflows it.
+	probeSched := netmodel.NewDrainScheduler(m, netmodel.DrainFIFO)
+	if _, _, err := runContended(&o, algo, goldenRep, factory, tmp+"/probe", probeSched, 0, 1e30); err != nil {
+		return nil, err
+	}
+	var capacity int64
+	for _, r := range probeSched.Drain() {
+		if r.Bytes > capacity {
+			capacity = r.Bytes
+		}
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("probe tenant staged nothing")
+	}
+	capacity = capacity * 3 / 2
+	o.Logf("contention: staging capacity %d B (largest probe request)", capacity)
+
+	// Interleaved tenants: FallbackWaitVT zero means any backlog-induced
+	// wait forces the epoch direct to the PFS. The jobs run one after the
+	// other but their capture VTs interleave on the shared scheduler clock,
+	// so job 1's seals contend with job 0's still-draining backlog.
+	sched := netmodel.NewDrainScheduler(m, netmodel.DrainFairShare)
+	sched.SetCapacity(capacity)
+	rep0, fs0, err := runContended(&o, algo, goldenRep, factory, tmp+"/job0", sched, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep1, fs1, err := runContended(&o, algo, goldenRep, factory, tmp+"/job1", sched, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	rpt := &ContentionReport{}
+	for job, leg := range []struct {
+		rep *rt.Report
+		fs  *ckpt.FileStore
+	}{{rep0, fs0}, {rep1, fs1}} {
+		staged, fallbacks, queued, _, err := checkContended(leg.rep, leg.fs, job)
+		if err != nil {
+			return nil, err
+		}
+		if fallbacks == 0 {
+			return nil, fmt.Errorf("job %d: backlog never forced a PFS fallback (%d epochs, capacity %d B)",
+				job, len(leg.rep.CheckpointHistory), capacity)
+		}
+		if queued != 0 {
+			return nil, fmt.Errorf("job %d: zero-patience tenant still charged %d queue waits", job, queued)
+		}
+		rpt.Epochs += len(leg.rep.CheckpointHistory)
+		rpt.Staged += staged
+		rpt.Fallbacks += fallbacks
+	}
+	if rpt.Staged == 0 {
+		return nil, fmt.Errorf("no epoch ever staged on the burst tier under contention")
+	}
+
+	// Per-tenant accounting must partition the scheduler totals exactly.
+	js0, js1, tot := sched.JobStats(0), sched.JobStats(1), sched.Stats()
+	if js0.Bytes+js1.Bytes != tot.Bytes || js0.Requests+js1.Requests != tot.Requests {
+		return nil, fmt.Errorf("per-job meters do not partition the totals: job0 %+v + job1 %+v != %+v", js0, js1, tot)
+	}
+	if tot.Requests != rpt.Staged {
+		return nil, fmt.Errorf("scheduler logged %d requests for %d staged epochs", tot.Requests, rpt.Staged)
+	}
+
+	// Patient tenant: same capacity, but an unbounded fallback budget turns
+	// the backlog into admission waits charged as DrainQueueVT.
+	patientSched := netmodel.NewDrainScheduler(m, netmodel.DrainFIFO)
+	patientSched.SetCapacity(capacity)
+	repP, fsP, err := runContended(&o, algo, goldenRep, factory, tmp+"/patient", patientSched, 0, 1e30)
+	if err != nil {
+		return nil, err
+	}
+	staged, fallbacks, queued, maxQueue, err := checkContended(repP, fsP, 2)
+	if err != nil {
+		return nil, err
+	}
+	if fallbacks != 0 {
+		return nil, fmt.Errorf("patient tenant fell back %d times despite an unbounded wait budget", fallbacks)
+	}
+	if queued == 0 {
+		return nil, fmt.Errorf("patient tenant never queued (%d staged epochs, capacity %d B)", staged, capacity)
+	}
+	rpt.Epochs += len(repP.CheckpointHistory)
+	rpt.Staged += staged
+	rpt.Queued = queued
+	rpt.MaxQueueVT = maxQueue
+
+	// The transparency claim: backpressure rerouting is pure accounting, so
+	// every sealed epoch of every tenant restarts into the golden state.
+	for _, leg := range []struct {
+		label string
+		fs    *ckpt.FileStore
+	}{{"contended job 0", fs0}, {"contended job 1", fs1}, {"patient tenant", fsP}} {
+		n, err := restartEverySealed(&o, algo, leg.label, leg.fs, goldenRep.StateDigest, factory)
+		if err != nil {
+			return nil, err
+		}
+		rpt.Restarts += n
+	}
+	return rpt, nil
+}

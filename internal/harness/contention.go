@@ -1,0 +1,121 @@
+package harness
+
+// The multi-tenant drain contention sweep: N concurrent jobs checkpoint
+// every I seconds and their burst->PFS drains share one DrainScheduler, so
+// the PFS bandwidth that prices a single drain at D seconds is now split N
+// ways. The contention knee is where N*D crosses I: below it the backlog
+// clears inside every checkpoint period and the mean queue excess stays
+// near zero; above it every epoch waits on the epochs before it and the
+// excess grows without bound. The direct-to-PFS rows anchor the comparison:
+// they never queue, but stall the job the full PFS write instead.
+
+import (
+	"fmt"
+	"sort"
+
+	"mana/internal/netmodel"
+)
+
+// contentionEpochs is the replayed chain length per job: long enough for
+// the backlog to reach steady state (or visibly diverge) in every cell.
+const contentionEpochs = 8
+
+// Contention sweeps job count x checkpoint interval x storage config and
+// reports the per-epoch queue excess that locates the contention knee. The
+// experiment id is "contention".
+func Contention(o Options) (*Table, error) {
+	nodes := 4
+	if nodes*o.PPN > o.MaxProcs {
+		nodes = 1
+	}
+	procs := nodes * o.PPN
+	const perRankImage = int64(398) << 20 // the Fig-9 VASP image size
+	bytes := perRankImage * int64(procs)
+
+	m := netmodel.New(o.Params, o.PPN)
+	drainD := m.TierWriteTime(netmodel.TierPFS, bytes, nodes)
+	burstStall := m.TierWriteTime(netmodel.TierBurstBuffer, bytes, nodes)
+
+	t := &Table{
+		Title: fmt.Sprintf("Drain contention: %d procs on %d nodes, %d epochs/job, single-job PFS drain %.2fs",
+			procs, nodes, contentionEpochs, drainD),
+		Header: []string{"jobs", "interval/drain", "config", "stall (s)", "mean queue (s)", "max queue (s)", "knee"},
+		Notes: []string{
+			"stall = job-visible write per capture; queue = drain time lost to other",
+			"tenants (scheduler excess over the standalone drain); the knee marks the",
+			"first job count whose mean queue exceeds the checkpoint interval, i.e.",
+			"where the shared backlog grows faster than it drains (jobs*drain > interval)",
+		},
+	}
+
+	for _, rel := range []float64{4, 2, 1} {
+		interval := rel * drainD
+		for _, cfgCase := range []struct {
+			name   string
+			policy netmodel.DrainPolicy
+			direct bool
+		}{
+			{"pfs-direct", netmodel.DrainFIFO, true},
+			{"burst-fifo", netmodel.DrainFIFO, false},
+			{"burst-fair", netmodel.DrainFairShare, false},
+		} {
+			kneed := false
+			for _, jobs := range []int{1, 2, 4, 8} {
+				var meanQ, maxQ, stall float64
+				if cfgCase.direct {
+					// No staging: every capture stalls the job the full
+					// PFS write and nothing ever queues.
+					stall = drainD
+				} else {
+					stall = burstStall
+					sched := netmodel.NewDrainScheduler(m, cfgCase.policy)
+					replayContention(sched, jobs, interval, bytes, nodes)
+					tot := sched.Stats()
+					if tot.Requests > 0 {
+						meanQ = tot.QueueVT / float64(tot.Requests)
+					}
+					for _, r := range sched.Drain() {
+						if r.QueueVT > maxQ {
+							maxQ = r.QueueVT
+						}
+					}
+					if want := int64(jobs*contentionEpochs) * bytes; tot.Bytes != want {
+						return nil, fmt.Errorf("contention: replay lost bytes (%d != %d)", tot.Bytes, want)
+					}
+				}
+				knee := ""
+				if !cfgCase.direct && !kneed && meanQ > interval {
+					knee = "*"
+					kneed = true
+				}
+				t.AddRow(fmt.Sprint(jobs), fmt.Sprintf("%.1f", rel), cfgCase.name,
+					fmt.Sprintf("%.2f", stall),
+					fmt.Sprintf("%.2f", meanQ),
+					fmt.Sprintf("%.2f", maxQ),
+					knee)
+			}
+		}
+	}
+	return t, nil
+}
+
+// replayContention feeds the scheduler the recorded shape of N periodic
+// tenants: each job seals an epoch every interval seconds, offset so the
+// tenants interleave evenly, in globally sorted arrival order (the order
+// the seals would reach a shared scheduler).
+func replayContention(sched *netmodel.DrainScheduler, jobs int, interval float64, bytes int64, nodes int) {
+	var reqs []netmodel.DrainRequest
+	for j := 0; j < jobs; j++ {
+		offset := float64(j) * interval / float64(jobs)
+		for k := 0; k < contentionEpochs; k++ {
+			reqs = append(reqs, netmodel.DrainRequest{
+				Job: j, Epoch: k, Bytes: bytes, Nodes: nodes,
+				VT: offset + float64(k)*interval,
+			})
+		}
+	}
+	sort.Slice(reqs, func(a, b int) bool { return reqs[a].VT < reqs[b].VT })
+	for _, r := range reqs {
+		sched.Enqueue(r)
+	}
+}

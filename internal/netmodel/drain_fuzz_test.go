@@ -1,0 +1,151 @@
+package netmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// drainProperties asserts the scheduler invariants that must hold for ANY
+// arrival schedule, under every policy:
+//
+//   - conservation: every enqueued request appears in the resolved schedule
+//     exactly once, so the drained bytes equal the committed burst bytes,
+//     both in total and per job (the stats partition exactly);
+//   - no free lunch: a drain never completes before its arrival plus its
+//     uncontended service time, so the queueing excess is never negative;
+//   - monotone completions: under the FIFO discipline the finish times are
+//     non-decreasing in arrival order (a single server cannot reorder), and
+//     under every discipline a job's backlog eventually drains to zero on a
+//     tier with real bandwidth.
+func drainProperties(t *testing.T, m *Model, reqs []DrainRequest) {
+	t.Helper()
+	var wantBytes int64
+	perJob := map[int]int64{}
+	for _, r := range reqs {
+		b := r.Bytes
+		if b < 0 {
+			b = 0 // Enqueue clamps negative byte counts
+		}
+		wantBytes += b
+		perJob[r.Job] += b
+	}
+	for _, policy := range []DrainPolicy{DrainFIFO, DrainFairShare, DrainPriority} {
+		s := NewDrainScheduler(m, policy)
+		for _, r := range reqs {
+			s.Enqueue(r)
+		}
+		res := s.Drain()
+		if len(res) != len(reqs) {
+			t.Fatalf("%v: %d requests resolved to %d results", policy, len(reqs), len(res))
+		}
+		var lastArrival, lastFinish float64
+		var lastEnd float64
+		for i, r := range res {
+			if r.VT < lastArrival {
+				t.Fatalf("%v: effective arrivals not monotone: req %d at %g after %g", policy, i, r.VT, lastArrival)
+			}
+			lastArrival = r.VT
+			if r.QueueVT < 0 || math.IsNaN(r.QueueVT) {
+				t.Fatalf("%v: req %d has negative/NaN queue excess %g", policy, i, r.QueueVT)
+			}
+			if r.Finish < r.VT+r.Standalone-1e-9 {
+				t.Fatalf("%v: req %d finished at %g, before uncontended %g", policy, i, r.Finish, r.VT+r.Standalone)
+			}
+			if policy == DrainFIFO {
+				if r.Finish < lastFinish {
+					t.Fatalf("%v: completion order regressed: req %d at %g after %g", policy, i, r.Finish, lastFinish)
+				}
+				lastFinish = r.Finish
+			}
+			if r.Finish > lastEnd {
+				lastEnd = r.Finish
+			}
+		}
+		total := s.Stats()
+		if total.Bytes != wantBytes || total.Requests != len(reqs) {
+			t.Fatalf("%v: drained %d bytes over %d requests, committed %d over %d",
+				policy, total.Bytes, total.Requests, wantBytes, len(reqs))
+		}
+		var jobSum int64
+		for job, want := range perJob {
+			js := s.JobStats(job)
+			if js.Bytes != want {
+				t.Fatalf("%v: job %d drained %d bytes, committed %d", policy, job, js.Bytes, want)
+			}
+			jobSum += js.Bytes
+		}
+		if jobSum != total.Bytes {
+			t.Fatalf("%v: per-job bytes %d do not partition total %d", policy, jobSum, total.Bytes)
+		}
+		if !math.IsInf(lastEnd, 1) {
+			if b := s.Backlog(lastEnd); b != 0 {
+				t.Fatalf("%v: %d bytes still backlogged after the last finish", policy, b)
+			}
+		}
+	}
+}
+
+// TestDrainScheduleProperties drives the invariants over seed-deterministic
+// random arrival schedules: bursts of jobs with mixed sizes, coincident
+// arrivals, zero-byte epochs, and out-of-order enqueues (exercising the
+// monotone clamp).
+func TestDrainScheduleProperties(t *testing.T) {
+	m := drainModel(t)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(24)
+		reqs := make([]DrainRequest, n)
+		vt := 0.0
+		for i := range reqs {
+			if rng.Intn(4) > 0 {
+				vt += rng.Float64() * 0.3
+			}
+			reqs[i] = DrainRequest{
+				Job:      rng.Intn(4),
+				Epoch:    i,
+				Bytes:    int64(rng.Intn(1 << 28)),
+				Nodes:    1 + rng.Intn(8),
+				VT:       vt - float64(rng.Intn(2)), // occasionally out of order
+				Priority: rng.Intn(3),
+			}
+			if rng.Intn(16) == 0 {
+				reqs[i].Bytes = 0
+			}
+		}
+		drainProperties(t, m, reqs)
+	}
+}
+
+// FuzzDrainConservation feeds arbitrary byte strings as arrival schedules:
+// each 8-byte chunk decodes one request (job, priority, size, inter-arrival
+// gap). The schedule must conserve bytes and satisfy every ordering
+// invariant no matter how adversarial the shape.
+func FuzzDrainConservation(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{7, 0, 200, 1, 9, 9, 9, 9, 7, 0, 200, 1, 9, 9, 9, 9, 1, 2, 3, 4, 5, 6, 7, 8})
+	m := New(PerlmutterLike(), 4)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 48*8 {
+			data = data[:48*8] // bound the schedule; the replay is quadratic
+		}
+		var reqs []DrainRequest
+		vt := 0.0
+		for i := 0; i+8 <= len(data); i += 8 {
+			c := data[i : i+8]
+			vt += float64(c[3]) * 0.01
+			bytes := int64(c[4]) | int64(c[5])<<8 | int64(c[6])<<16 | int64(c[7])<<24
+			reqs = append(reqs, DrainRequest{
+				Job:      int(c[0] % 8),
+				Epoch:    i / 8,
+				Bytes:    bytes,
+				Nodes:    int(c[1] % 16),
+				VT:       vt,
+				Priority: int(c[2] % 4),
+			})
+		}
+		drainProperties(t, m, reqs)
+	})
+}

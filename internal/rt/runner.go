@@ -98,6 +98,28 @@ type CkptPlan struct {
 	// fan-in (RestartReadVT) no matter how deep the incremental chain
 	// grows, and making the old chain reclaimable by KeepEpochs.
 	CompactEvery int
+
+	// DrainSched, when non-nil, shares this job's burst→PFS drains with
+	// other tenants through one netmodel.DrainScheduler: sealed burst
+	// epochs' drains queue against every job using the same scheduler
+	// instead of assuming a private PFS, and a bounded scheduler capacity
+	// feeds back as backpressure (CheckpointStats.DrainQueueVT), forced
+	// direct-to-PFS fallback (CheckpointStats.PFSFallback), and admission
+	// deferrals. Store-path only; requires Tier = TierBurstBuffer to have
+	// any effect. JobID keys this job in the shared per-job accounting and
+	// DrainPriority ranks it under the scheduler's priority policy.
+	DrainSched    *netmodel.DrainScheduler
+	JobID         int
+	DrainPriority int
+	// FallbackWaitVT is the longest backpressure wait a sealing epoch
+	// tolerates before abandoning the burst tier for a direct PFS commit.
+	// Zero tolerates none: any wait for staging room forces the fallback.
+	FallbackWaitVT float64
+	// AdmitBacklogBytes, when positive, enables admission control: a
+	// periodic checkpoint trigger that fires while the shared backlog
+	// exceeds this budget is refused and retried at a later boundary
+	// (counted in CheckpointStats.AdmissionDeferred).
+	AdmitBacklogBytes int64
 }
 
 // Config describes one job.
@@ -222,6 +244,11 @@ func newCoordinator(w *mpi.World, plan *CkptPlan) (*ckpt.Coordinator, error) {
 		coord.StreamBudgetBytes = plan.StreamBudgetBytes
 		coord.KeepEpochs = plan.KeepEpochs
 		coord.CompactEvery = plan.CompactEvery
+		coord.DrainSched = plan.DrainSched
+		coord.JobID = plan.JobID
+		coord.DrainPriority = plan.DrainPriority
+		coord.FallbackWaitVT = plan.FallbackWaitVT
+		coord.AdmitBacklogBytes = plan.AdmitBacklogBytes
 		store := plan.Store
 		if store == nil && (plan.Incremental || plan.Delta || plan.KeepEpochs > 0 || plan.CompactEvery > 0) {
 			// Incremental reuse needs epochs to diff against (and the

@@ -1,25 +1,39 @@
 #!/usr/bin/env bash
-# Encode-path perf snapshot: runs the encode benchmarks (streaming commit
-# throughput and the page-delta fresh-byte shrink) and emits their metrics
-# as BENCH_encode.json, one object per benchmark line, so perf trajectories
-# can be diffed across commits by machines instead of eyeballs.
+# Perf snapshot: runs a benchmark suite and emits its metrics as a JSON
+# file, one object per benchmark line, so perf trajectories can be diffed
+# across commits by machines instead of eyeballs.
 #
-# Usage: scripts/bench_to_json.sh [out.json] [benchtime]
+# Usage: scripts/bench_to_json.sh [out.json] [benchtime] [suite] [regex]
 #   out.json   defaults to BENCH_encode.json in the repo root
 #   benchtime  defaults to 1x (one capture chain per benchmark: smoke-grade)
+#   suite      defaults to encode; "contention" selects the drain-scheduler
+#              suite (BenchmarkContention -> BENCH_contention.json)
+#   regex      overrides the suite's benchmark regex
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_encode.json}
 benchtime=${2:-1x}
+suite=${3:-encode}
+
+case "$suite" in
+  encode)     default_regex='BenchmarkStreamingCheckpoint|BenchmarkPageDeltaCheckpoint' ;;
+  contention) default_regex='BenchmarkContention' ;;
+  *)          default_regex='' ;;
+esac
+regex=${4:-$default_regex}
+if [ -z "$regex" ]; then
+  echo "bench_to_json: unknown suite '$suite' and no regex given" >&2
+  exit 2
+fi
 
 raw=$(go test -run '^$' \
-  -bench 'BenchmarkStreamingCheckpoint|BenchmarkPageDeltaCheckpoint' \
+  -bench "$regex" \
   -benchtime="$benchtime" -short . 2>&1) || { echo "$raw" >&2; exit 1; }
 
 # A Go benchmark line is: Name-GOMAXPROCS  iters  value unit  value unit ...
 # Everything after the iteration count alternates value/unit.
-echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v suite="$suite" '
 BEGIN { n = 0 }
 /^Benchmark/ && NF >= 4 {
   name = $1
@@ -34,7 +48,7 @@ BEGIN { n = 0 }
 }
 END {
   if (n == 0) { print "bench_to_json: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
-  printf "{\n\"date\": \"%s\",\n\"suite\": \"encode\",\n\"benchmarks\": [\n", date
+  printf "{\n\"date\": \"%s\",\n\"suite\": \"%s\",\n\"benchmarks\": [\n", date, suite
   for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
   print "]\n}"
 }' > "$out"
