@@ -16,6 +16,7 @@ import (
 
 	"mana/internal/apps"
 	"mana/internal/ckpt"
+	"mana/internal/conformance"
 	"mana/internal/core"
 	"mana/internal/harness"
 	"mana/internal/netmodel"
@@ -693,12 +694,12 @@ func BenchmarkStreamingCheckpoint(b *testing.B) {
 		elems = 8 << 10
 	}
 
-	run := func(b *testing.B, store ckpt.Store, async, incremental bool) (stall float64, peak int64, encoded int64) {
+	run := func(b *testing.B, store ckpt.Store, async, incremental bool, codec string) (stall float64, peak int64, encoded int64) {
 		cfg := rt.Config{
 			Ranks: ranks, PPN: 32, Params: netmodel.PerlmutterLike(), Algorithm: rt.AlgoCC,
 			Checkpoint: &rt.CkptPlan{
 				AtStep: 4, Every: 1e-6, Mode: ckpt.ContinueAfterCapture,
-				Store: store, Async: async, Incremental: incremental,
+				Store: store, Async: async, Incremental: incremental, Codec: codec,
 				StreamBudgetBytes:  budget,
 				PaddedBytesPerRank: padded,
 			},
@@ -745,7 +746,7 @@ func BenchmarkStreamingCheckpoint(b *testing.B) {
 	b.Run("blob-sync", func(b *testing.B) {
 		var stall float64
 		for i := 0; i < b.N; i++ {
-			stall, _, _ = run(b, nil, false, false)
+			stall, _, _ = run(b, nil, false, false, "")
 		}
 		b.ReportMetric(stall, "stall-s")
 	})
@@ -753,7 +754,7 @@ func BenchmarkStreamingCheckpoint(b *testing.B) {
 		var stall float64
 		var peak, encoded int64
 		for i := 0; i < b.N; i++ {
-			stall, peak, encoded = run(b, ckpt.NewMemStore(), false, false)
+			stall, peak, encoded = run(b, ckpt.NewMemStore(), false, false, "")
 		}
 		b.SetBytes(encoded) // encode-path MB/s (real logical bytes, not padding)
 		b.ReportMetric(stall, "stall-s")
@@ -764,16 +765,32 @@ func BenchmarkStreamingCheckpoint(b *testing.B) {
 		var stall float64
 		var peak, encoded int64
 		for i := 0; i < b.N; i++ {
-			stall, peak, encoded = run(b, ckpt.NewMemStore(), true, true)
+			stall, peak, encoded = run(b, ckpt.NewMemStore(), true, true, "")
 		}
 		b.SetBytes(encoded) // hash+diff MB/s; reused shards skip the encoder
 		b.ReportMetric(stall, "stall-s")
 		b.ReportMetric(float64(peak)/(1<<20), "peak-enc-mb")
 	})
+	// The none codec drops compression from the chunked-shard encode: fresh
+	// shards stream as hash + copy. On this low-churn shape both legs are
+	// hash-bound (fresh shards are tiny), so the row documents that the
+	// passthrough codec costs nothing — its MB/s must sit at the flate row's
+	// level, not below it. The modeled stall prices logical bytes either
+	// way, so it must not move.
+	b.Run("stream-async-incremental-none", func(b *testing.B) {
+		var stall float64
+		var peak, encoded int64
+		for i := 0; i < b.N; i++ {
+			stall, peak, encoded = run(b, ckpt.NewMemStore(), true, true, "none")
+		}
+		b.SetBytes(encoded)
+		b.ReportMetric(stall, "stall-s")
+		b.ReportMetric(float64(peak)/(1<<20), "peak-enc-mb")
+	})
 	b.Run("stall-parity", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			blobStall, _, _ := run(b, nil, false, false)
-			streamStall, _, _ := run(b, ckpt.NewMemStore(), false, false)
+			blobStall, _, _ := run(b, nil, false, false, "")
+			streamStall, _, _ := run(b, ckpt.NewMemStore(), false, false, "")
 			// Same padded bytes on the same tier in the same regime: the
 			// stream must not change the priced stall at all.
 			if diff := math.Abs(streamStall - blobStall); diff > 1e-9*math.Max(blobStall, 1) {
@@ -876,6 +893,103 @@ func BenchmarkPageDeltaCheckpoint(b *testing.B) {
 			}
 			if rrep.StateDigest != golden {
 				b.Fatalf("restart from delta epoch %d diverged: %.12s != golden %.12s", e, rrep.StateDigest, golden)
+			}
+		}
+	}
+	b.ReportMetric(shrink, "fresh-shrink-x")
+}
+
+// BenchmarkCDCCheckpoint measures what content-defined chunks save where
+// page deltas structurally cannot: the insertion-shifted straggler (the
+// conformance suite's CDCStragglerConfig shape — hot ranks splice one
+// element into the interior of a multi-megabyte state every iteration, so
+// every byte after the edit shifts between captures). Page deltas see
+// almost every page changed and re-anchor to full shards; content
+// boundaries realign after the edit, so the CDC chain stores only the
+// chunks the splice actually dirtied. The gate is the acceptance bar:
+// steady-state CDC fresh bytes must be at least 3x under the page-delta
+// chain's ("fresh-shrink-x"), every sealed CDC epoch must restart
+// digest-identical to the uninterrupted run, and the streaming encoder's
+// per-capture peak must stay within the budget.
+func BenchmarkCDCCheckpoint(b *testing.B) {
+	const (
+		ranks  = 4
+		budget = int64(8) << 20
+	)
+	scfg := conformance.CDCStragglerConfig(ranks)
+	factory := func(rank int) rt.App { return apps.NewStraggler(scfg, rank) }
+
+	run := func(b *testing.B, delta, cdc bool) (*ckpt.MemStore, *rt.Report) {
+		store := ckpt.NewMemStore()
+		cfg := rt.Config{
+			Ranks: ranks, PPN: 4, Params: netmodel.PerlmutterLike(), Algorithm: rt.AlgoCC,
+			Checkpoint: &rt.CkptPlan{
+				AtStep: 4, Every: 1e-6, Mode: ckpt.ContinueAfterCapture,
+				Store: store, Async: true, Incremental: true, Delta: delta, CDC: cdc,
+				StreamBudgetBytes: budget,
+			},
+		}
+		rep, err := rt.Run(cfg, factory)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.CheckpointHistory) < 4 {
+			b.Fatalf("only %d chained captures (want >= 4 for a steady state)", len(rep.CheckpointHistory))
+		}
+		return store, rep
+	}
+	// steady sums fresh bytes and diffed-shard counts after the first
+	// capture (epoch 0 is all-full in both modes).
+	steady := func(rep *rt.Report) (fresh int64, diffed int) {
+		for _, st := range rep.CheckpointHistory[1:] {
+			fresh += st.FreshBytes
+			diffed += st.DeltaShards + st.CDCShards
+			if st.PeakEncodeBytes > budget {
+				b.Fatalf("peak encode %d bytes exceeds the %d budget", st.PeakEncodeBytes, budget)
+			}
+		}
+		return fresh, diffed
+	}
+
+	var golden string
+	if rep, err := rt.Run(rt.Config{Ranks: ranks, PPN: 4, Params: netmodel.PerlmutterLike(), Algorithm: rt.AlgoCC}, factory); err != nil {
+		b.Fatal(err)
+	} else if golden = rep.StateDigest; golden == "" {
+		b.Fatal("golden run produced no digest")
+	}
+
+	var shrink float64
+	for i := 0; i < b.N; i++ {
+		_, deltaRep := run(b, true, false)
+		cdcStore, cdcRep := run(b, false, true)
+		deltaFresh, deltaShards := steady(deltaRep)
+		cdcFresh, cdcShards := steady(cdcRep)
+		if deltaShards == 0 && deltaFresh == 0 {
+			b.Fatal("page-delta chain stored nothing to compare against")
+		}
+		if cdcShards == 0 {
+			b.Fatal("cdc chain stored no chunk-object shards")
+		}
+		if cdcFresh*3 > deltaFresh {
+			b.Fatalf("cdc wrote %d steady-state fresh bytes, want <= a third of page-delta's %d under the insertion shift",
+				cdcFresh, deltaFresh)
+		}
+		shrink = float64(deltaFresh) / float64(cdcFresh)
+
+		// Digest-identical restart from EVERY sealed epoch of the CDC chain.
+		epochs, err := cdcStore.Epochs()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range epochs {
+			rrep, err := rt.RestartFromStore(
+				rt.Config{Ranks: ranks, PPN: 4, Params: netmodel.PerlmutterLike(), Algorithm: rt.AlgoCC},
+				cdcStore, e, factory)
+			if err != nil {
+				b.Fatalf("restart from cdc epoch %d: %v", e, err)
+			}
+			if rrep.StateDigest != golden {
+				b.Fatalf("restart from cdc epoch %d diverged: %.12s != golden %.12s", e, rrep.StateDigest, golden)
 			}
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"sort"
 )
 
@@ -80,13 +81,16 @@ func (b *bufset) restoreEntries(saved []BufEntry) error {
 	return nil
 }
 
-// gobEncode/gobDecode are the snapshot helpers shared by the apps.
-func gobEncode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, fmt.Errorf("apps: snapshot: %w", err)
+// gobEncodeTo/gobDecode are the snapshot helpers shared by the apps.
+// gobEncodeTo streams the encoding straight into w — the apps implement
+// rt.StreamSnapshotter on top of it so the capture path never materializes
+// a second whole-snapshot buffer — and each Snapshot delegates through a
+// bytes.Buffer for callers that want the bytes.
+func gobEncodeTo(w io.Writer, v any) error {
+	if err := gob.NewEncoder(w).Encode(v); err != nil {
+		return fmt.Errorf("apps: snapshot: %w", err)
 	}
-	return buf.Bytes(), nil
+	return nil
 }
 
 func gobDecode(data []byte, v any) error {

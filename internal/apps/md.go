@@ -1,6 +1,8 @@
 package apps
 
 import (
+	"bytes"
+	"io"
 	"math"
 
 	"mana/internal/mpi"
@@ -221,7 +223,18 @@ func (m *MD) Step(env *rt.Env) (bool, error) {
 
 // Snapshot implements rt.App.
 func (m *MD) Snapshot() ([]byte, error) {
-	return gobEncode(struct {
+	var buf bytes.Buffer
+	if err := m.SnapshotTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SnapshotTo implements rt.StreamSnapshotter: the capture path streams the
+// gob encoding straight into the image buffer. Produces exactly Snapshot's
+// bytes.
+func (m *MD) SnapshotTo(w io.Writer) error {
+	return gobEncodeTo(w, struct {
 		Iter, Phase   int
 		Pos, Vel, Frc []float64
 		Energy        float64

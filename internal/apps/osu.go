@@ -1,7 +1,9 @@
 package apps
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 
 	"mana/internal/netmodel"
 	"mana/internal/rt"
@@ -74,7 +76,18 @@ func (o *OSU) Step(env *rt.Env) (bool, error) {
 
 // Snapshot implements rt.App.
 func (o *OSU) Snapshot() ([]byte, error) {
-	return gobEncode(struct{ Iter, Phase int }{o.Iter, o.Phase})
+	var buf bytes.Buffer
+	if err := o.SnapshotTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SnapshotTo implements rt.StreamSnapshotter: the capture path streams the
+// gob encoding straight into the image buffer. Produces exactly Snapshot's
+// bytes.
+func (o *OSU) SnapshotTo(w io.Writer) error {
+	return gobEncodeTo(w, struct{ Iter, Phase int }{o.Iter, o.Phase})
 }
 
 // Restore implements rt.App.

@@ -1,7 +1,9 @@
 package apps
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 
 	"mana/internal/rt"
 )
@@ -148,7 +150,18 @@ func (o *OSUP2P) Step(env *rt.Env) (bool, error) {
 
 // Snapshot implements rt.App.
 func (o *OSUP2P) Snapshot() ([]byte, error) {
-	return gobEncode(struct {
+	var buf bytes.Buffer
+	if err := o.SnapshotTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SnapshotTo implements rt.StreamSnapshotter: the capture path streams the
+// gob encoding straight into the image buffer. Produces exactly Snapshot's
+// bytes.
+func (o *OSUP2P) SnapshotTo(w io.Writer) error {
+	return gobEncodeTo(w, struct {
 		Iter, Phase int
 		Buf         []byte
 	}{o.Iter, o.Phase, o.buf})

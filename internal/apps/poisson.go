@@ -1,6 +1,8 @@
 package apps
 
 import (
+	"bytes"
+	"io"
 	"math"
 
 	"mana/internal/mpi"
@@ -166,7 +168,18 @@ func (p *Poisson) Step(env *rt.Env) (bool, error) {
 
 // Snapshot implements rt.App.
 func (p *Poisson) Snapshot() ([]byte, error) {
-	return gobEncode(struct {
+	var buf bytes.Buffer
+	if err := p.SnapshotTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SnapshotTo implements rt.StreamSnapshotter: the capture path streams the
+// gob encoding straight into the image buffer. Produces exactly Snapshot's
+// bytes.
+func (p *Poisson) SnapshotTo(w io.Writer) error {
+	return gobEncodeTo(w, struct {
 		Iter, Phase   int
 		X, R, P, Q    []float64
 		Rho, Residual float64

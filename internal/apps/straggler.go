@@ -30,6 +30,17 @@ type StragglerConfig struct {
 	// (the incremental-checkpoint benchmarks keep hot shards small so the
 	// image bytes live in the frozen cold ranks).
 	HotStateElems int
+	// InsertEvery, when positive, makes each hot rank INSERT one new element
+	// at a deterministic interior position of State every InsertEvery
+	// iterations (instead of only overwriting in place). Every element after
+	// the insertion point shifts by eight bytes in the fixed-width snapshot,
+	// so page-granular deltas see almost every trailing page dirty while
+	// content-defined chunking realigns one chunk past the edit. The knob
+	// also switches the initial State to a non-periodic xorshift fill —
+	// a periodic pattern would starve the rolling hash of cut candidates —
+	// and relaxes Restore's shape check (a restart's State length comes from
+	// the snapshot, not the constructor).
+	InsertEvery int
 }
 
 // DefaultStragglerConfig returns the registered workload's shape.
@@ -79,10 +90,26 @@ func NewStraggler(cfg StragglerConfig, rank int) *Straggler {
 		elems = 1
 	}
 	a.State = make([]float64, elems)
-	for i := range a.State {
-		a.State[i] = float64(rank) + float64(i%64)/64
+	if cfg.InsertEvery > 0 {
+		s := uint64(rank)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+		for i := range a.State {
+			s, a.State[i] = stragglerNoise(s)
+		}
+	} else {
+		for i := range a.State {
+			a.State[i] = float64(rank) + float64(i%64)/64
+		}
 	}
 	return a
+}
+
+// stragglerNoise advances a xorshift64 state and returns it with a
+// deterministic quasi-random value in [0, 1).
+func stragglerNoise(s uint64) (uint64, float64) {
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	return s, float64(s%100000) / 100000
 }
 
 func (a *Straggler) Name() string { return "straggler" }
@@ -119,6 +146,15 @@ func (a *Straggler) Step(env *rt.Env) (bool, error) {
 	}
 	// Advance deterministic local state; only hot ranks churn their bulk
 	// payload, and only while iterating.
+	if a.hot && a.cfg.InsertEvery > 0 && a.Iter > 0 && a.Iter%a.cfg.InsertEvery == 0 {
+		// Insertion churn: grow State by one element at a pseudo-random
+		// interior position, shifting everything after it.
+		pos := (a.Iter * 131) % (len(a.State) - 1)
+		_, v := stragglerNoise(uint64(a.Iter)*0x9e3779b97f4a7c15 + 1)
+		a.State = append(a.State, 0)
+		copy(a.State[pos+1:], a.State[pos:])
+		a.State[pos] = v
+	}
 	if a.hot {
 		for k := 0; k < 8; k++ {
 			i := (a.Iter*8 + k) % len(a.State)
@@ -194,9 +230,14 @@ func (a *Straggler) Restore(data []byte) error {
 		return fmt.Errorf("straggler: snapshot claims %d+8*%d payload bytes, has %d",
 			nSum, nState, len(rest))
 	}
-	if nSum != len(a.Sum) || nState != len(a.State) {
+	if nSum != len(a.Sum) || (nState != len(a.State) && a.cfg.InsertEvery == 0) {
 		return fmt.Errorf("straggler: snapshot shape (%d sum, %d state) does not match this rank (%d, %d)",
 			nSum, nState, len(a.Sum), len(a.State))
+	}
+	if nState != len(a.State) {
+		// With insertion churn the captured State may be longer than the
+		// constructor's; the snapshot's length is authoritative.
+		a.State = make([]float64, nState)
 	}
 	a.Iter, a.Acc, a.target = iter, acc, target
 	copy(a.Sum, rest[:nSum])

@@ -1,6 +1,8 @@
 package apps
 
 import (
+	"bytes"
+	"io"
 	"math"
 
 	"mana/internal/mpi"
@@ -155,7 +157,18 @@ func (s *SW4Mini) Step(env *rt.Env) (bool, error) {
 
 // Snapshot implements rt.App.
 func (s *SW4Mini) Snapshot() ([]byte, error) {
-	return gobEncode(struct {
+	var buf bytes.Buffer
+	if err := s.SnapshotTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SnapshotTo implements rt.StreamSnapshotter: the capture path streams the
+// gob encoding straight into the image buffer. Produces exactly Snapshot's
+// bytes.
+func (s *SW4Mini) SnapshotTo(w io.Writer) error {
+	return gobEncodeTo(w, struct {
 		Iter, Phase int
 		U, Uprev    []float64
 		MaxU        float64

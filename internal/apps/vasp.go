@@ -1,6 +1,8 @@
 package apps
 
 import (
+	"bytes"
+	"io"
 	"math"
 	"math/cmplx"
 
@@ -166,7 +168,18 @@ func (v *VASPMini) foldAta() {
 
 // Snapshot implements rt.App.
 func (v *VASPMini) Snapshot() ([]byte, error) {
-	return gobEncode(struct {
+	var buf bytes.Buffer
+	if err := v.SnapshotTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SnapshotTo implements rt.StreamSnapshotter: the capture path streams the
+// gob encoding straight into the image buffer. Produces exactly Snapshot's
+// bytes.
+func (v *VASPMini) SnapshotTo(w io.Writer) error {
+	return gobEncodeTo(w, struct {
 		Iter, Phase int
 		Slab        []complex128
 		Energy      float64

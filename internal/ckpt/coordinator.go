@@ -125,6 +125,13 @@ type CheckpointStats struct {
 	DeltaShards int
 	DeltaBytes  int64
 
+	// Content-defined-chunk accounting (CDC mode): how many of the fresh
+	// shards were stored as MANASHD3 chunk objects holding only
+	// content-new chunks, and their compressed bytes (a subset of
+	// FreshShards/FreshBytes).
+	CDCShards int
+	CDCBytes  int64
+
 	// CaptureHostSeconds is the wall-clock (host, not virtual) time the
 	// coordinator spent building this checkpoint's job image — the quantity
 	// the parallel capture fan-out shrinks. Purely observational.
@@ -210,6 +217,22 @@ type Coordinator struct {
 	// without Incremental (every shard hashes fresh with no parent to diff
 	// against).
 	Delta bool
+
+	// CDC enables content-defined chunking on top of Incremental: capture
+	// hashing also splits each rank's logical stream on Gear rolling-hash
+	// content boundaries (HashCaptureCDC), and a rank whose shard shares
+	// chunks with the parent chain — across arbitrary insertions, deletions,
+	// and even other ranks — is stored as a RawFormatCDC object holding just
+	// the content-new chunks. Implies chunk tables in the manifest
+	// (ManifestV5); requires a store; mutually exclusive with Delta (the two
+	// diff strategies address the same fresh-byte budget).
+	CDC bool
+
+	// Codec overrides the stored-object codec for every shard this
+	// coordinator commits: "flate" (the default, at the tier's hint level)
+	// or "none" (the identity passthrough — no compression CPU). Empty
+	// defers to the commit tier's codec hint.
+	Codec string
 
 	// Tier selects the storage tier checkpoint writes are charged against
 	// (default: the parallel filesystem). With TierBurstBuffer, captures
@@ -757,10 +780,15 @@ func (c *Coordinator) commitEpoch(epoch int, img *JobImage) commitResult {
 	t0 := time.Now()
 	var sums *ShardSums
 	var encErr error
-	if c.Delta {
+	switch {
+	case c.CDC:
+		// CDC mode also builds the content-defined chunk table the
+		// commit-time chunk index consumes.
+		sums, encErr = HashCaptureCDC(img)
+	case c.Delta:
 		// Delta mode also builds the per-page CRC table the differ needs.
 		sums, encErr = HashCapturePaged(img, ShardPageBytes)
-	} else {
+	default:
 		sums, encErr = HashCapture(img)
 	}
 
@@ -793,9 +821,15 @@ func (c *Coordinator) commitEpoch(epoch int, img *JobImage) commitResult {
 	c.store.Overlapped = c.Async
 	c.store.Tier = c.Tier
 	c.store.PadShardBytes = c.PaddedBytesPerRank
-	// The commit tier's codec hint selects the encoders' flate level (the
-	// effective tier: an absent burst tier resolves to the PFS constants).
-	c.store.FlateLevel = c.W.Model.Tier(c.W.Model.EffectiveTier(c.Tier)).FlateLevel
+	// The commit tier's codec hint selects the encoders' flate level and
+	// default codec (the effective tier: an absent burst tier resolves to
+	// the PFS constants); the plan's Codec knob overrides the tier's.
+	tierSpec := c.W.Model.Tier(c.W.Model.EffectiveTier(c.Tier))
+	c.store.FlateLevel = tierSpec.FlateLevel
+	c.store.Codec = c.Codec
+	if c.store.Codec == "" {
+		c.store.Codec = tierSpec.Codec
+	}
 	// Multi-tenant drain arbitration: the sealing epoch submits its drain to
 	// the shared scheduler (and takes the backpressure/fallback decision)
 	// inside PutManifest, under this same commit ticket.
@@ -936,6 +970,8 @@ func (c *Coordinator) applyCommitLocked(histIdx int, res commitResult) {
 		e.ReusedBytes = res.stats.ReusedBytes
 		e.DeltaShards = res.stats.DeltaShards
 		e.DeltaBytes = res.stats.DeltaBytes
+		e.CDCShards = res.stats.CDCShards
+		e.CDCBytes = res.stats.CDCBytes
 	}
 	// Lifecycle outcome applies even when the pass failed part-way (the
 	// epoch itself sealed; whatever was reclaimed before the failure is

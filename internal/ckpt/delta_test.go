@@ -374,7 +374,7 @@ func TestDeltaPageCorruptionAttributed(t *testing.T) {
 	bad.App[5001] ^= 0xFF
 	bad.ClockVT = 0 // the stored stream is clockless
 	sink := &memSink{}
-	dw, err := NewShardDeltaWriter(1, sink, 0, shardDeltaHeader{
+	dw, err := NewShardDeltaWriter(1, sink, FlateCodec(0), shardDeltaHeader{
 		Rank: 1, BaseEpoch: si.BaseEpoch,
 		PageSize: si.PageSize, RawSize: si.RawSize, Pages: si.DeltaPages,
 	})

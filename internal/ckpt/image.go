@@ -91,8 +91,9 @@ type ShardInfo struct {
 	// RawFormatGob for legacy whole-gob shards, RawFormatChunked for the
 	// bounded-memory header+payload layout the streaming writer emits,
 	// RawFormatPageDelta for a page-delta object reconstructed against an
-	// earlier full shard (below). Old manifests decode with the zero value,
-	// which is the legacy format.
+	// earlier full shard (below), RawFormatCDC for a content-defined-chunk
+	// object reconstructed from its chunk table (cdc.go). Old manifests
+	// decode with the zero value, which is the legacy format.
 	RawFormat int
 
 	// Page-delta fields (RawFormat == RawFormatPageDelta, plus the page
@@ -122,8 +123,22 @@ type ShardInfo struct {
 	BaseSize int64
 	// DeltaRawSize/DeltaRawSum are the stored delta stream's raw
 	// (pre-compression) length and FNV-1a — what Size/Checksum compress.
+	// CDC objects reuse them for their stored stream (magic + header +
+	// fresh chunk payloads): the geometry is identical.
 	DeltaRawSize int64
 	DeltaRawSum  uint64
+
+	// Chunks is the content-defined chunk table of the LOGICAL stream (CDC
+	// mode, cdc.go): per chunk its length, CRC-32C, FNV-1a content hash, and
+	// the physical object its bytes live in. Present on every shard
+	// committed with CDC on (full chunked shards carry a self-sourced table
+	// so later epochs can reuse their chunks); required when RawFormat ==
+	// RawFormatCDC.
+	Chunks []ChunkRef
+	// CodecID names the codec that encoded the stored object (codec.go).
+	// The zero value is CodecFlate, so every manifest written before codecs
+	// existed keeps meaning what it meant.
+	CodecID int
 }
 
 // Raw shard stream formats (ShardInfo.RawFormat).
@@ -146,6 +161,13 @@ const (
 	// the dirty pages' bytes in index order. Restart merges base and delta
 	// page streams at one-page memory (see FORMAT.md, "Raw format 2").
 	RawFormatPageDelta = 2
+	// RawFormatCDC: only the FRESH content-defined chunks of the logical
+	// chunked stream — a small gob header followed by the fresh chunks'
+	// bytes in index order. The manifest's chunk table (ShardInfo.Chunks)
+	// addresses every chunk, fresh or reused, into a physically stored
+	// object; restart merges them at one-chunk memory (see FORMAT.md,
+	// "Raw format 3" and cdc.go).
+	RawFormatCDC = 3
 )
 
 // Manifest versions. Zero-valued Version means v2 (the version field
@@ -164,6 +186,11 @@ const (
 	// RawFormatPageDelta. Purely additive gob evolution over v3 — old
 	// fields mean exactly what they meant.
 	ManifestV4 = 4
+	// ManifestV5 is a v3 manifest whose epoch was committed with
+	// content-defined chunking enabled: entries carry chunk tables and may
+	// be RawFormatCDC. Additive again — a v5 reader decodes every earlier
+	// version unchanged.
+	ManifestV5 = 5
 )
 
 // Manifest is the job-level header: the geometry needed to rebuild the
@@ -245,7 +272,8 @@ var flatePools [flate.BestCompression - flate.HuffmanOnly + 1]sync.Pool
 // normFlateLevel maps a codec hint to a concrete flate level: 0 (unset)
 // selects the default shardCompression, anything outside flate's valid
 // range is clamped to it too. NoCompression is deliberately not selectable
-// — a checkpoint tier that wants raw bytes wants BestSpeed's cheap win.
+// — a checkpoint tier that wants raw bytes selects the `none` codec
+// (codec.go), which skips flate's framing entirely.
 func normFlateLevel(level int) int {
 	if level == 0 || level < flate.HuffmanOnly || level > flate.BestCompression {
 		return shardCompression
@@ -486,22 +514,26 @@ type ShardSummary struct {
 	// PageSums is the CRC-32C page table of the raw stream, present only
 	// when the writer was opened with a page size (delta-mode commits).
 	PageSums []uint32
+	// Chunks is the content-defined chunk table of the raw stream, present
+	// only when the writer was opened with chunking on (CDC-mode commits).
+	Chunks []RawChunk
 }
 
 // ShardWriter streams one rank's shard into a store stream: the rank image
-// gob-encodes through the raw identity counter into a pooled flate
-// compressor, whose output is checksummed and chunk-buffered on its way to
-// the store writer. Nothing shard-sized is ever buffered. Close finalizes
-// the compressed stream, closes the store writer, and returns the summary.
+// gob-encodes through the raw identity counter into the codec stage
+// (pooled flate by default), whose output is checksummed and chunk-buffered
+// on its way to the store writer. Nothing shard-sized is ever buffered.
+// Close finalizes the codec stream, closes the store writer, and returns
+// the summary.
 type ShardWriter struct {
-	rank  int
-	level int
-	dst   io.WriteCloser
-	chunk *chunkWriter
-	comp  *countWriter
-	fw    *flate.Writer
-	raw   *countWriter
-	pages *pageSummer
+	rank   int
+	dst    io.WriteCloser
+	chunk  *chunkWriter
+	comp   *countWriter
+	cw     io.WriteCloser // codec stage
+	raw    *countWriter
+	pages  *pageSummer
+	chunks *chunkSummer
 }
 
 // NewShardWriter opens a streaming encoder for one rank's shard over a
@@ -516,18 +548,30 @@ func NewShardWriter(rank int, dst io.WriteCloser) (*ShardWriter, error) {
 // CRC-32C page table over the raw stream as it flows (reported at Close) —
 // the page-granular identity the delta differ compares epochs with.
 func NewShardWriterLevel(rank int, dst io.WriteCloser, level int, pageSize int64) (*ShardWriter, error) {
-	w := &ShardWriter{rank: rank, level: normFlateLevel(level), dst: dst}
+	return NewShardWriterCodec(rank, dst, FlateCodec(level), pageSize, false)
+}
+
+// NewShardWriterCodec opens a streaming shard encoder through an explicit
+// codec. pageSize > 0 records the delta differ's page table; withChunks
+// records the CDC chunker's content-defined chunk table over the same raw
+// stream (both reported at Close).
+func NewShardWriterCodec(rank int, dst io.WriteCloser, codec Codec, pageSize int64, withChunks bool) (*ShardWriter, error) {
+	w := &ShardWriter{rank: rank, dst: dst}
 	w.chunk = newChunkWriter(dst)
 	w.comp = newCountWriter(w.chunk)
-	fw, err := flateWriterFor(w.level, w.comp)
+	cw, err := codec.NewWriter(w.comp)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: rank %d shard compressor: %w", rank, err)
 	}
-	w.fw = fw
-	var rawDst io.Writer = fw
+	w.cw = cw
+	var rawDst io.Writer = cw
 	if pageSize > 0 {
-		w.pages = newPageSummer(pageSize, fw)
+		w.pages = newPageSummer(pageSize, rawDst)
 		rawDst = w.pages
+	}
+	if withChunks {
+		w.chunks = newChunkSummer(rawDst)
+		rawDst = w.chunks
 	}
 	w.raw = newCountWriter(rawDst)
 	return w, nil
@@ -540,14 +584,12 @@ func (w *ShardWriter) Encode(ri *RankImage, clockless bool) error {
 	return writeShardRaw(w.raw, ri, clockless)
 }
 
-// Close finalizes the compressed stream, flushes the chunk buffer, closes
-// the store writer, and reports the shard's geometry and checksums.
+// Close finalizes the codec stream, flushes the chunk buffer, closes the
+// store writer, and reports the shard's geometry and checksums.
 func (w *ShardWriter) Close() (ShardSummary, error) {
 	var firstErr error
-	if err := w.fw.Close(); err != nil {
+	if err := w.cw.Close(); err != nil {
 		firstErr = fmt.Errorf("ckpt: compressing rank %d shard: %w", w.rank, err)
-	} else {
-		putFlateWriter(w.level, w.fw)
 	}
 	if err := w.chunk.close(); err != nil && firstErr == nil {
 		firstErr = fmt.Errorf("ckpt: writing rank %d shard: %w", w.rank, err)
@@ -563,6 +605,9 @@ func (w *ShardWriter) Close() (ShardSummary, error) {
 	}
 	if w.pages != nil {
 		sum.PageSums = w.pages.finish()
+	}
+	if w.chunks != nil {
+		sum.Chunks = w.chunks.finish()
 	}
 	return sum, firstErr
 }
@@ -976,10 +1021,9 @@ func (f *pageFilterWriter) Write(b []byte) (int, error) {
 // window plus one chunk buffer — dirty ratio only shrinks the output.
 type ShardDeltaWriter struct {
 	rank  int
-	level int
 	raw   *countWriter // logical stream accounting (drift check vs HashCapture)
 	dRaw  *countWriter // stored delta stream (magic+header+dirty pages)
-	fw    *flate.Writer
+	cw    io.WriteCloser
 	comp  *countWriter
 	chunk *chunkWriter
 	dst   io.WriteCloser
@@ -998,16 +1042,16 @@ type ShardDeltaSummary struct {
 	DeltaRawSum  uint64
 }
 
-func NewShardDeltaWriter(rank int, dst io.WriteCloser, level int, hdr shardDeltaHeader) (*ShardDeltaWriter, error) {
-	w := &ShardDeltaWriter{rank: rank, level: normFlateLevel(level), dst: dst}
+func NewShardDeltaWriter(rank int, dst io.WriteCloser, codec Codec, hdr shardDeltaHeader) (*ShardDeltaWriter, error) {
+	w := &ShardDeltaWriter{rank: rank, dst: dst}
 	w.chunk = newChunkWriter(dst)
 	w.comp = newCountWriter(w.chunk)
-	fw, err := flateWriterFor(w.level, w.comp)
+	cw, err := codec.NewWriter(w.comp)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: rank %d delta compressor: %w", rank, err)
 	}
-	w.fw = fw
-	w.dRaw = newCountWriter(fw)
+	w.cw = cw
+	w.dRaw = newCountWriter(cw)
 	if _, err := w.dRaw.Write(shardDeltaMagic); err != nil {
 		return nil, fmt.Errorf("ckpt: rank %d delta magic: %w", rank, err)
 	}
@@ -1025,10 +1069,8 @@ func (w *ShardDeltaWriter) Write(b []byte) (int, error) { return w.raw.Write(b) 
 // closes the store writer, and reports both identities.
 func (w *ShardDeltaWriter) Close() (ShardDeltaSummary, error) {
 	var firstErr error
-	if err := w.fw.Close(); err != nil {
+	if err := w.cw.Close(); err != nil {
 		firstErr = fmt.Errorf("ckpt: compressing rank %d delta shard: %w", w.rank, err)
-	} else {
-		putFlateWriter(w.level, w.fw)
 	}
 	if err := w.chunk.close(); err != nil && firstErr == nil {
 		firstErr = fmt.Errorf("ckpt: writing rank %d delta shard: %w", w.rank, err)
@@ -1162,12 +1204,15 @@ func (r *tallyReader) Read(p []byte) (int, error) {
 // A checksum mismatch wins over any decode error: corrupted bytes produce
 // arbitrary flate/gob failures, and attributing them as corruption (not as
 // a format bug) is what the torn-write diagnostics rely on.
-func decodeShardStream(src io.Reader, rawSize int64, wantSum uint64, rawFormat int) (*RankImage, error) {
+func decodeShardStream(src io.Reader, rawSize int64, wantSum uint64, rawFormat int, codec Codec) (*RankImage, error) {
 	if rawSize < 0 {
 		return nil, fmt.Errorf("negative raw size %d", rawSize)
 	}
+	if codec == nil {
+		codec = FlateCodec(0)
+	}
 	cr := newCountReader(src)
-	fr := flate.NewReader(cr)
+	fr := codec.NewReader(cr)
 	defer fr.Close()
 	tr := &tallyReader{src: fr}
 
@@ -1458,8 +1503,11 @@ func (man *Manifest) validate(shardDataLen int64) error {
 			return fmt.Errorf("ckpt: rank %d shard references epoch %d from epoch %d",
 				si.Rank, si.RefEpoch, man.Epoch)
 		}
-		if si.RawFormat < RawFormatGob || si.RawFormat > RawFormatPageDelta {
+		if si.RawFormat < RawFormatGob || si.RawFormat > RawFormatCDC {
 			return fmt.Errorf("ckpt: rank %d shard declares unknown raw format %d", si.Rank, si.RawFormat)
+		}
+		if si.CodecID < CodecFlate || si.CodecID > CodecNone {
+			return fmt.Errorf("ckpt: rank %d shard declares unknown codec %d", si.Rank, si.CodecID)
 		}
 		if si.PageSize < 0 || si.BaseSize < 0 || si.DeltaRawSize < 0 {
 			return fmt.Errorf("ckpt: rank %d shard has negative page geometry (page %d, base %d, delta raw %d)",
@@ -1491,6 +1539,39 @@ func (man *Manifest) validate(shardDataLen int64) error {
 				if j > 0 && si.DeltaPages[j-1] == p {
 					return fmt.Errorf("ckpt: rank %d delta shard lists page %d twice", si.Rank, p)
 				}
+			}
+		}
+		if si.RawFormat == RawFormatCDC && len(si.Chunks) == 0 {
+			// The streaming writer always emits at least the magic+header,
+			// so the logical stream is never empty and a CDC entry without a
+			// chunk table is unreconstructable.
+			return fmt.Errorf("ckpt: rank %d cdc shard has no chunk table", si.Rank)
+		}
+		if len(si.Chunks) > 0 {
+			// Any recorded chunk table must tile the logical stream exactly,
+			// within the chunker's size bounds (the merge buffers one chunk,
+			// so an oversized Len would drive an unbounded allocation), with
+			// every source address non-negative and no newer than the epoch
+			// that stored the entry.
+			var total int64
+			for j := range si.Chunks {
+				c := &si.Chunks[j]
+				if c.Len <= 0 || c.Len > CDCMaxChunkBytes {
+					return fmt.Errorf("ckpt: rank %d chunk %d has length %d (want 1..%d)",
+						si.Rank, j, c.Len, int64(CDCMaxChunkBytes))
+				}
+				if c.SrcOff < 0 || c.SrcRank < 0 || c.SrcEpoch < 0 || c.SrcEpoch > si.RefEpoch {
+					return fmt.Errorf("ckpt: rank %d chunk %d has source epoch %d rank %d offset %d (stored in epoch %d)",
+						si.Rank, j, c.SrcEpoch, c.SrcRank, c.SrcOff, si.RefEpoch)
+				}
+				if total > math.MaxInt64-c.Len {
+					return fmt.Errorf("ckpt: rank %d chunk table overflows", si.Rank)
+				}
+				total += c.Len
+			}
+			if total != si.RawSize {
+				return fmt.Errorf("ckpt: rank %d chunk table covers %d bytes of a %d-byte stream",
+					si.Rank, total, si.RawSize)
 			}
 		}
 	}

@@ -331,7 +331,7 @@ func TestShardWriterStreamsIdentically(t *testing.T) {
 				r, sum.RawSum, sum.RawSize, wantSum, wantSize)
 		}
 
-		got, err := decodeShardStream(bytes.NewReader(blob), sum.RawSize, sum.Checksum, RawFormatChunked)
+		got, err := decodeShardStream(bytes.NewReader(blob), sum.RawSize, sum.Checksum, RawFormatChunked, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -361,7 +361,7 @@ func TestLegacyGobShardsStillDecode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := decodeShardStream(bytes.NewReader(blob), rawSize, checksumOf(blob), RawFormatGob)
+	got, err := decodeShardStream(bytes.NewReader(blob), rawSize, checksumOf(blob), RawFormatGob, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,10 +370,10 @@ func TestLegacyGobShardsStillDecode(t *testing.T) {
 	}
 	// The formats must not alias: chunked bytes under the gob format (and
 	// vice versa) fail as decode errors, not silent misreads.
-	if _, err := decodeShardStream(bytes.NewReader(blob), rawSize, checksumOf(blob), RawFormatChunked); err == nil {
+	if _, err := decodeShardStream(bytes.NewReader(blob), rawSize, checksumOf(blob), RawFormatChunked, nil); err == nil {
 		t.Fatal("gob bytes decoded under the chunked format")
 	}
-	if _, err := decodeShardStream(bytes.NewReader(blob), rawSize, checksumOf(blob), RawFormatChunked+1); err == nil ||
+	if _, err := decodeShardStream(bytes.NewReader(blob), rawSize, checksumOf(blob), RawFormatChunked+1, nil); err == nil ||
 		!strings.Contains(err.Error(), "unsupported raw shard format") {
 		t.Fatalf("unknown format not rejected: %v", err)
 	}
@@ -427,7 +427,7 @@ func TestDecodeShardStreamRejects(t *testing.T) {
 	for name, tc := range cases {
 		t.Run(name, func(t *testing.T) {
 			b := tc.mutate(append([]byte(nil), blob...))
-			_, err := decodeShardStream(bytes.NewReader(b), tc.rawSize, sum.Checksum, RawFormatChunked)
+			_, err := decodeShardStream(bytes.NewReader(b), tc.rawSize, sum.Checksum, RawFormatChunked, nil)
 			if err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("error %v does not mention %q", err, tc.want)
 			}
@@ -509,7 +509,7 @@ func TestHostileShardHeadersErrorCleanly(t *testing.T) {
 			t.Fatal(err)
 		}
 		blob := compress(raw.Bytes())
-		_, err := decodeShardStream(bytes.NewReader(blob), int64(raw.Len()), checksumOf(blob), RawFormatChunked)
+		_, err := decodeShardStream(bytes.NewReader(blob), int64(raw.Len()), checksumOf(blob), RawFormatChunked, nil)
 		if err == nil || !strings.Contains(err.Error(), "payloads beyond") {
 			t.Fatalf("overflowing header not rejected: %v", err)
 		}
@@ -520,7 +520,7 @@ func TestHostileShardHeadersErrorCleanly(t *testing.T) {
 		// the capped reader must refuse before gob allocates it.
 		raw := []byte{0xF8, 0x7F, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF} // -8 ext bytes: ~2^63
 		blob := compress(raw)
-		_, err := decodeShardStream(bytes.NewReader(blob), int64(len(raw)), checksumOf(blob), RawFormatGob)
+		_, err := decodeShardStream(bytes.NewReader(blob), int64(len(raw)), checksumOf(blob), RawFormatGob, nil)
 		if err == nil || !strings.Contains(err.Error(), "exceeds") {
 			t.Fatalf("absurd gob message length not rejected: %v", err)
 		}
@@ -540,7 +540,7 @@ func TestHostileShardHeadersErrorCleanly(t *testing.T) {
 		want := checksumOf(blob)
 		mut := append([]byte(nil), blob...)
 		mut[len(mut)/3] ^= 0x10
-		_, err = decodeShardStream(bytes.NewReader(mut), rawSize, want, RawFormatGob)
+		_, err = decodeShardStream(bytes.NewReader(mut), rawSize, want, RawFormatGob, nil)
 		if err == nil || !strings.Contains(err.Error(), "corrupted") {
 			t.Fatalf("bit rot not reported as corruption: %v", err)
 		}

@@ -123,6 +123,14 @@ func GCStore(store Store, keep int) (*GCStats, error) {
 					queue = append(queue, base)
 				}
 			}
+			// A chunk table keeps every source epoch alive: a CDC shard is
+			// unreadable without the objects its reused chunks point into.
+			for _, c := range man.Shards[i].Chunks {
+				if !live[c.SrcEpoch] {
+					live[c.SrcEpoch] = true
+					queue = append(queue, c.SrcEpoch)
+				}
+			}
 		}
 	}
 	for _, e := range epochs {
@@ -205,8 +213,11 @@ func CompactChain(store Store, epoch int, budget *StreamBudget) (*Manifest, *Com
 	selfContained := true
 	for i := range man.Shards {
 		// A page-delta shard is never self-contained even when the delta
-		// object lives in this epoch: it reconstructs through its base.
-		if man.Shards[i].RefEpoch != man.Epoch || man.Shards[i].RawFormat == RawFormatPageDelta {
+		// object lives in this epoch: it reconstructs through its base. A
+		// CDC shard likewise reconstructs through its chunk sources.
+		if man.Shards[i].RefEpoch != man.Epoch ||
+			man.Shards[i].RawFormat == RawFormatPageDelta ||
+			man.Shards[i].RawFormat == RawFormatCDC {
 			selfContained = false
 			break
 		}
@@ -242,7 +253,8 @@ func CompactChain(store Store, epoch int, budget *StreamBudget) (*Manifest, *Com
 			si := man.Shards[i]
 			budget.Acquire(shardStreamFootprint)
 			defer budget.Release(shardStreamFootprint)
-			if si.RawFormat == RawFormatPageDelta {
+			switch {
+			case si.RawFormat == RawFormatPageDelta:
 				// A delta shard cannot be copied verbatim — the copy would
 				// still dangle off its base. Flatten it: stream the verified
 				// base+delta page merge back through a shard compressor into
@@ -253,7 +265,16 @@ func CompactChain(store Store, epoch int, budget *StreamBudget) (*Manifest, *Com
 					return fmt.Errorf("ckpt: compacting epoch %d rank %d (delta stored in epoch %d, base in epoch %d): %w",
 						epoch, si.Rank, si.RefEpoch, si.BaseEpoch, err)
 				}
-			} else {
+			case si.RawFormat == RawFormatCDC:
+				// A CDC shard dangles off every epoch its reused chunks
+				// point into. Flatten it the same way: stream the per-chunk
+				// verified merge back through a shard compressor into a
+				// self-contained full chunked shard.
+				if err := flattenCDCShard(store, newEpoch, &si); err != nil {
+					return fmt.Errorf("ckpt: compacting epoch %d rank %d (cdc shard stored in epoch %d): %w",
+						epoch, si.Rank, si.RefEpoch, err)
+				}
+			default:
 				src, err := store.OpenShard(si.RefEpoch, si.Rank)
 				if err != nil {
 					return err
@@ -275,6 +296,11 @@ func CompactChain(store Store, epoch int, budget *StreamBudget) (*Manifest, *Com
 			}
 			si.RefEpoch = newEpoch
 			si.Offset = 0
+			// Every compacted shard is a self-contained full chunked stream
+			// in newEpoch, so its chunk table (if any) must self-source from
+			// the new object. The remap also clones the slice: si.Chunks
+			// shares its backing array with the source manifest's entry.
+			remapSelfChunks(&si, newEpoch)
 			newMan.Shards[i] = si
 			return nil
 		}()
@@ -316,11 +342,17 @@ func flattenDeltaShard(store Store, newEpoch int, si *ShardInfo) error {
 	if err != nil {
 		return err
 	}
+	// Re-encode with the codec that produced the delta object, so the
+	// entry's persisted CodecID keeps describing the stored bytes.
+	codec, err := codecByID(si.CodecID)
+	if err != nil {
+		return err
+	}
 	dst, err := store.PutShardStream(newEpoch, si.Rank)
 	if err != nil {
 		return err
 	}
-	sw, err := NewShardWriterLevel(si.Rank, dst, 0, si.PageSize)
+	sw, err := NewShardWriterCodec(si.Rank, dst, codec, si.PageSize, false)
 	if err != nil {
 		//lint:allow closecheck shard-writer setup failed; dst is abandoned and the setup error surfaces
 		dst.Close()
@@ -350,4 +382,75 @@ func flattenDeltaShard(store Store, newEpoch int, si *ShardInfo) error {
 	si.DeltaRawSize = 0
 	si.DeltaRawSum = 0
 	return nil
+}
+
+// flattenCDCShard rewrites one CDC shard as a self-contained chunked shard
+// in newEpoch: the fresh payload and every reused chunk stream through the
+// per-chunk-verified merge (source objects checksum-verified, every chunk
+// CRC-checked) and the merged logical stream recompresses directly into the
+// new object — nothing shard-sized is ever held. On success si is mutated
+// in place into the full shard's entry: RawFormatChunked, new Size/Checksum,
+// stored-stream identity cleared. The chunk table keeps its content hashes;
+// CompactChain remaps it to self-source from the new object.
+func flattenCDCShard(store Store, newEpoch int, si *ShardInfo) error {
+	m, err := openCDCMerge(store, si)
+	if m != nil {
+		defer m.close()
+	}
+	if err != nil {
+		return err
+	}
+	codec, err := codecByID(si.CodecID)
+	if err != nil {
+		return err
+	}
+	dst, err := store.PutShardStream(newEpoch, si.Rank)
+	if err != nil {
+		return err
+	}
+	sw, err := NewShardWriterCodec(si.Rank, dst, codec, si.PageSize, false)
+	if err != nil {
+		//lint:allow closecheck shard-writer setup failed; dst is abandoned and the setup error surfaces
+		dst.Close()
+		return err
+	}
+	_, copyErr := io.Copy(sw.raw, m.merged)
+	sum, closeErr := sw.Close()
+	if err := m.finish(copyErr); err != nil {
+		return err
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	if sum.RawSum != si.RawSum || sum.RawSize != si.RawSize {
+		return fmt.Errorf("flattened shard does not match its manifest identity (got %d raw bytes sum %#x, want %d sum %#x)",
+			sum.RawSize, sum.RawSum, si.RawSize, si.RawSum)
+	}
+	si.RawFormat = RawFormatChunked
+	si.Size = sum.Size
+	si.Checksum = sum.Checksum
+	si.DeltaRawSize = 0
+	si.DeltaRawSum = 0
+	return nil
+}
+
+// remapSelfChunks rewrites a compacted entry's chunk table so every chunk
+// self-sources from the new physical object: after compaction the shard is
+// a full chunked stream in newEpoch, so each chunk lives at its cumulative
+// logical offset. Content hashes are untouched — reuse keys survive the
+// move. The table is rebuilt into a fresh slice because si.Chunks shares
+// its backing array with the manifest it was copied from. No-op when the
+// entry carries no table (pre-CDC shards).
+func remapSelfChunks(si *ShardInfo, newEpoch int) {
+	if len(si.Chunks) == 0 {
+		return
+	}
+	refs := make([]ChunkRef, len(si.Chunks))
+	var off int64
+	for k := range si.Chunks {
+		c := si.Chunks[k]
+		refs[k] = ChunkRef{Len: c.Len, CRC: c.CRC, Sum: c.Sum, SrcEpoch: newEpoch, SrcRank: si.Rank, SrcOff: off}
+		off += c.Len
+	}
+	si.Chunks = refs
 }

@@ -24,7 +24,6 @@ package ckpt
 import (
 	"bufio"
 	"bytes"
-	"compress/flate"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -551,6 +550,11 @@ type ModelStore struct {
 	// for encode speed, an archival tier the reverse. Zero keeps the
 	// package default.
 	FlateLevel int
+	// Codec, when non-empty, names the codec fresh shards are encoded
+	// through ("flate" or "none", see CodecByName); empty keeps flate at
+	// FlateLevel. The choice is persisted per shard (ShardInfo.CodecID) so
+	// decode follows the stored bytes, not the current configuration.
+	Codec string
 
 	// Drains, when set, submits every burst-tier epoch's background PFS
 	// drain to a shared multi-tenant scheduler instead of assuming the
@@ -880,6 +884,11 @@ type CommitStats struct {
 	// bytes are included in FreshBytes.
 	DeltaShards int
 	DeltaBytes  int64
+	// CDCShards/CDCBytes count the subset of the fresh set written as
+	// content-defined-chunk objects (fresh chunks only); their bytes are
+	// included in FreshBytes.
+	CDCShards int
+	CDCBytes  int64
 }
 
 // CommitCapture runs stages 2–3 of the checkpoint pipeline for one captured
@@ -916,6 +925,11 @@ type ShardSums struct {
 	// CommitStreamed diffs against the parent's to find dirty pages.
 	PageSize int64
 	PageSums [][]uint32
+	// Chunks carries the per-rank content-defined chunk tables when the
+	// capture was hashed for CDC commits (HashCaptureCDC); nil means no
+	// chunk-level diffing. CommitStreamed looks each chunk up in the parent
+	// chain's content-addressed index.
+	Chunks [][]RawChunk
 }
 
 // HashCapture hashes every rank's clockless shard identity across
@@ -933,6 +947,29 @@ func HashCapturePaged(img *JobImage, pageSize int64) (*ShardSums, error) {
 		pageSize = ShardPageBytes
 	}
 	return hashCapture(img, pageSize)
+}
+
+// HashCaptureCDC records each rank's content-defined chunk table over the
+// same single streaming pass as the FNV identity (the gear hash and chunk
+// CRCs ride the FNV stream — no second walk), arming CommitStreamed's
+// content-addressed chunk diff.
+func HashCaptureCDC(img *JobImage) (*ShardSums, error) {
+	n := len(img.Images)
+	sums := &ShardSums{
+		Sums:   make([]uint64, n),
+		Sizes:  make([]int64, n),
+		Chunks: make([][]RawChunk, n),
+	}
+	errs := make([]error, n)
+	fanOut(n, encodeWorkers(n), func(i int) {
+		sums.Sums[i], sums.Sizes[i], sums.Chunks[i], errs[i] = hashShardClocklessCDC(&img.Images[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sums, nil
 }
 
 func hashCapture(img *JobImage, pageSize int64) (*ShardSums, error) {
@@ -977,16 +1014,40 @@ func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sum
 		budget = NewStreamBudget(0)
 	}
 	deltaMode := sums.PageSums != nil
+	cdcMode := sums.Chunks != nil
 	ms, _ := store.(*ModelStore)
 	level := 0
+	codecName := ""
 	if ms != nil {
 		level = ms.FlateLevel
+		codecName = ms.Codec
+	}
+	codec, err := CodecByName(codecName, level)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	parentByRank := make(map[int]*ShardInfo)
 	if parent != nil {
 		for i := range parent.Shards {
 			parentByRank[parent.Shards[i].Rank] = &parent.Shards[i]
+		}
+	}
+
+	// The content-addressed chunk index: every chunk the parent chain
+	// already stores, keyed by content identity, valued by its physical
+	// source address — built from the parent manifest's tables alone, no
+	// object reads. Cross-rank entries are included deliberately: duplicate
+	// state between ranks dedups exactly like duplicate state across time.
+	var chunkIndex map[chunkKey]ChunkRef
+	if cdcMode && parent != nil {
+		chunkIndex = make(map[chunkKey]ChunkRef)
+		for i := range parent.Shards {
+			for _, c := range parent.Shards[i].Chunks {
+				if _, ok := chunkIndex[keyOfRef(&c)]; !ok {
+					chunkIndex[keyOfRef(&c)] = c
+				}
+			}
 		}
 	}
 
@@ -1003,6 +1064,9 @@ func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sum
 	}
 	if deltaMode {
 		man.Version = ManifestV4
+	}
+	if cdcMode {
+		man.Version = ManifestV5
 	}
 	if parent != nil {
 		man.Parent = parent.Epoch
@@ -1022,6 +1086,7 @@ func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sum
 			ClockVT:   ri.ClockVT,
 			RefEpoch:  epoch,
 			RawFormat: RawFormatChunked,
+			CodecID:   codec.ID(), // fresh shards; the reuse case overrides
 		}
 		if deltaMode {
 			si.PageSize = sums.PageSize
@@ -1045,6 +1110,7 @@ func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sum
 			si.Size = p.Size
 			si.Checksum = p.Checksum
 			si.RawFormat = p.RawFormat
+			si.CodecID = p.CodecID
 			if p.RawFormat == RawFormatPageDelta {
 				// The stored object is the parent's delta: its geometry, not
 				// this capture's, is what decode must follow.
@@ -1061,8 +1127,46 @@ func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sum
 				si.PageSize = p.PageSize
 				si.PageSums = p.PageSums
 			}
+			if p.RawFormat == RawFormatCDC {
+				// The stored object is the parent's CDC object: decode needs
+				// its stored-stream identity.
+				si.DeltaRawSize = p.DeltaRawSize
+				si.DeltaRawSum = p.DeltaRawSum
+			}
+			// Keep the chunk table alive across reuse: the refs address
+			// sealed physical objects verbatim, so later epochs keep
+			// deduplicating against them (and CDC entries stay decodable).
+			si.Chunks = p.Chunks
 			st.ReusedShards++
 			st.ReusedBytes += p.Size
+		case cdcMode:
+			// Changed. Look every chunk up in the parent chain's index:
+			// chunks whose content already lives in a sealed object are
+			// referenced verbatim (one hop, never a chain), the rest are
+			// fresh and self-sourced. Past half the bytes fresh, a
+			// self-contained full shard beats the fan-in a CDC object costs
+			// at restart — same re-anchoring rule as page deltas.
+			table := sums.Chunks[i]
+			refs := make([]ChunkRef, len(table))
+			var reused int64
+			for k := range table {
+				if r, ok := chunkIndex[keyOfRaw(&table[k])]; ok {
+					refs[k] = r
+					reused += r.Len
+				} else {
+					// SrcOff is stamped after the stream writes (the fresh
+					// payload offsets depend on the encoded header length).
+					refs[k] = ChunkRef{Len: table[k].Len, CRC: table[k].CRC,
+						Sum: table[k].Sum, SrcEpoch: epoch, SrcRank: ri.Rank}
+				}
+			}
+			if reused*2 >= sums.Sizes[i] && len(table) > 0 {
+				si.RawFormat = RawFormatCDC
+				si.Chunks = refs
+			} else {
+				si.Chunks = selfChunkRefs(table, epoch, ri.Rank)
+			}
+			fresh = append(fresh, i)
 		case deltaMode && deltaEligible(p, sums, i):
 			// Changed, but page-diffable: store only the dirty pages against
 			// the chain's full base shard for this rank.
@@ -1106,8 +1210,9 @@ func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sum
 			}
 			var sum ShardSummary
 			var encErr, closeErr error
-			if si.RawFormat == RawFormatPageDelta {
-				dw, err := NewShardDeltaWriter(ri.Rank, dst, level, shardDeltaHeader{
+			switch si.RawFormat {
+			case RawFormatPageDelta:
+				dw, err := NewShardDeltaWriter(ri.Rank, dst, codec, shardDeltaHeader{
 					Rank: ri.Rank, BaseEpoch: si.BaseEpoch,
 					PageSize: si.PageSize, RawSize: si.RawSize, Pages: si.DeltaPages,
 				})
@@ -1123,12 +1228,41 @@ func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sum
 					RawSize: dsum.RawSize, RawSum: dsum.RawSum}
 				si.DeltaRawSize = dsum.DeltaRawSize
 				si.DeltaRawSum = dsum.DeltaRawSum
-			} else {
+			case RawFormatCDC:
+				freshIdx := cdcFreshIndices(si)
+				lens := make([]int64, len(si.Chunks))
+				for k := range si.Chunks {
+					lens[k] = si.Chunks[k].Len
+				}
+				cw, err := NewShardCDCWriter(ri.Rank, dst, codec, shardCDCHeader{
+					Rank: ri.Rank, RawSize: si.RawSize, Chunks: lens, Fresh: freshIdx,
+				})
+				if err != nil {
+					//lint:allow closecheck cdc-writer setup failed; dst is abandoned and the setup error surfaces
+					dst.Close()
+					return err
+				}
+				encErr = writeShardRaw(cw, ri, true)
+				var csum ShardCDCSummary
+				csum, closeErr = cw.Close()
+				sum = ShardSummary{Size: csum.Size, Checksum: csum.Checksum,
+					RawSize: csum.RawSize, RawSum: csum.RawSum}
+				si.DeltaRawSize = csum.DeltaRawSize
+				si.DeltaRawSum = csum.DeltaRawSum
+				// Stamp the fresh chunks' addresses into this object's stored
+				// stream: header first, then the fresh payloads in index
+				// order.
+				off := csum.HeaderLen
+				for _, k := range freshIdx {
+					si.Chunks[k].SrcOff = off
+					off += si.Chunks[k].Len
+				}
+			default:
 				pageSize := int64(0)
 				if deltaMode {
 					pageSize = sums.PageSize
 				}
-				sw, err := NewShardWriterLevel(ri.Rank, dst, level, pageSize)
+				sw, err := NewShardWriterCodec(ri.Rank, dst, codec, pageSize, false)
 				if err != nil {
 					//lint:allow closecheck shard-writer setup failed; dst is abandoned and the setup error surfaces
 					dst.Close()
@@ -1166,6 +1300,10 @@ func CommitStreamed(store Store, epoch int, parent *Manifest, img *JobImage, sum
 		if man.Shards[i].RawFormat == RawFormatPageDelta {
 			st.DeltaShards++
 			st.DeltaBytes += man.Shards[i].Size
+		}
+		if man.Shards[i].RawFormat == RawFormatCDC {
+			st.CDCShards++
+			st.CDCBytes += man.Shards[i].Size
 		}
 	}
 	if err := store.PutManifest(epoch, man); err != nil {
@@ -1210,11 +1348,20 @@ func dirtyPages(p *ShardInfo, pages []uint32) []int32 {
 }
 
 // openFreshStream opens the store stream one fresh shard encodes into,
-// routing page-delta shards through the ModelStore's pro-rata padded
-// pricing when a padded image size is configured.
+// routing page-delta and CDC shards through the ModelStore's pro-rata
+// padded pricing when a padded image size is configured: each partial
+// object charges the fraction of the padded size its stored payload covers
+// (dirty pages, or fresh chunk bytes).
 func openFreshStream(store Store, ms *ModelStore, epoch int, si *ShardInfo) (io.WriteCloser, error) {
 	if ms != nil && ms.PadShardBytes > 0 && si.RawFormat == RawFormatPageDelta {
 		pad := ms.PadShardBytes * int64(len(si.DeltaPages)) / pagesOf(si.RawSize, si.PageSize)
+		if pad < 1 {
+			pad = 1
+		}
+		return ms.putShardStreamPadded(epoch, si.Rank, pad)
+	}
+	if ms != nil && ms.PadShardBytes > 0 && si.RawFormat == RawFormatCDC && si.RawSize > 0 {
+		pad := ms.PadShardBytes * cdcFreshLen(si) / si.RawSize
 		if pad < 1 {
 			pad = 1
 		}
@@ -1269,6 +1416,27 @@ func unsealedBaseErr(man *Manifest, si *ShardInfo) error {
 		man.Epoch, si.Rank, si.BaseEpoch)
 }
 
+// unsealedChunkErr is the same diagnostic for a chunk table entry whose
+// source epoch is gone: without the object physically holding the chunk's
+// bytes the shard cannot reassemble.
+func unsealedChunkErr(man *Manifest, si *ShardInfo, srcEpoch int) error {
+	return fmt.Errorf("ckpt: epoch %d rank %d chunk-references epoch %d, which is not sealed in the store (aborted commit or reclaimed chunk source)",
+		man.Epoch, si.Rank, srcEpoch)
+}
+
+// unsealedChunkSrc returns the first chunk-source epoch of si that is not
+// sealed, or -1 when every source resolves. Sources equal to the manifest's
+// own epoch are trivially sealed-by-construction (the manifest in hand IS
+// the seal).
+func unsealedChunkSrc(si *ShardInfo, manEpoch int, sealed map[int]bool) int {
+	for i := range si.Chunks {
+		if e := si.Chunks[i].SrcEpoch; e != manEpoch && !sealed[e] {
+			return e
+		}
+	}
+	return -1
+}
+
 // checkRefsSealed validates that every cross-epoch reference in a manifest
 // resolves to a SEALED epoch. A reference into an unsealed epoch directory
 // (an aborted commit, or a chain whose parent manifest was lost) must fail
@@ -1278,7 +1446,8 @@ func unsealedBaseErr(man *Manifest, si *ShardInfo) error {
 func checkRefsSealed(store Store, man *Manifest) error {
 	hasRefs := false
 	for i := range man.Shards {
-		if man.Shards[i].RefEpoch != man.Epoch || man.Shards[i].RawFormat == RawFormatPageDelta {
+		if man.Shards[i].RefEpoch != man.Epoch || man.Shards[i].RawFormat == RawFormatPageDelta ||
+			man.Shards[i].RawFormat == RawFormatCDC {
 			hasRefs = true
 			break
 		}
@@ -1297,6 +1466,9 @@ func checkRefsSealed(store Store, man *Manifest) error {
 		}
 		if si.RawFormat == RawFormatPageDelta && !sealed[si.BaseEpoch] {
 			return unsealedBaseErr(man, si)
+		}
+		if e := unsealedChunkSrc(si, man.Epoch, sealed); e >= 0 {
+			return unsealedChunkErr(man, si, e)
 		}
 	}
 	return nil
@@ -1352,16 +1524,23 @@ func loadShard(store Store, man *Manifest, si *ShardInfo) (*RankImage, error) {
 	}
 	var ri *RankImage
 	var err error
-	if si.RawFormat == RawFormatPageDelta {
+	switch si.RawFormat {
+	case RawFormatPageDelta:
 		ri, err = loadShardDelta(store, si)
-	} else {
+	case RawFormatCDC:
+		ri, err = loadShardCDC(store, si)
+	default:
+		codec, cerr := codecByID(si.CodecID)
+		if cerr != nil {
+			return nil, fmt.Errorf("ckpt: %s: %w", at, cerr)
+		}
 		var rc io.ReadCloser
 		rc, err = store.OpenShard(si.RefEpoch, si.Rank)
 		if err != nil {
 			return nil, fmt.Errorf("ckpt: %s: %w", at, err)
 		}
 		defer rc.Close()
-		ri, err = decodeShardStream(rc, si.RawSize, si.Checksum, si.RawFormat)
+		ri, err = decodeShardStream(rc, si.RawSize, si.Checksum, si.RawFormat, codec)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: %s: %w", at, err)
@@ -1417,6 +1596,15 @@ func openDeltaMerge(store Store, si *ShardInfo) (*deltaMerge, error) {
 			si.BaseEpoch, si.Rank, si.RawSize, bi.RawFormat, bi.RefEpoch, bi.RawSize)
 	}
 
+	baseCodec, err := codecByID(bi.CodecID)
+	if err != nil {
+		return nil, err
+	}
+	deltaCodec, err := codecByID(si.CodecID)
+	if err != nil {
+		return nil, err
+	}
+
 	m := &deltaMerge{si: si, bi: bi}
 	brc, err := store.OpenShard(si.BaseEpoch, si.Rank)
 	if err != nil {
@@ -1424,7 +1612,7 @@ func openDeltaMerge(store Store, si *ShardInfo) (*deltaMerge, error) {
 	}
 	m.closers = append(m.closers, brc)
 	m.baseCr = newCountReader(brc)
-	baseFl := flate.NewReader(m.baseCr)
+	baseFl := baseCodec.NewReader(m.baseCr)
 	m.closers = append(m.closers, baseFl)
 
 	drc, err := store.OpenShard(si.RefEpoch, si.Rank)
@@ -1434,7 +1622,7 @@ func openDeltaMerge(store Store, si *ShardInfo) (*deltaMerge, error) {
 	}
 	m.closers = append(m.closers, drc)
 	m.deltaCr = newCountReader(drc)
-	deltaFl := flate.NewReader(m.deltaCr)
+	deltaFl := deltaCodec.NewReader(m.deltaCr)
 	m.closers = append(m.closers, deltaFl)
 	m.dRaw = newCountReader(deltaFl)
 	dbr := bufio.NewReader(m.dRaw)
@@ -1538,7 +1726,7 @@ func ExtractRankFromStore(store Store, epoch, rank int) (*RankImage, error) {
 		if si.Rank != rank {
 			continue
 		}
-		if si.RefEpoch != man.Epoch || si.RawFormat == RawFormatPageDelta {
+		if si.RefEpoch != man.Epoch || si.RawFormat == RawFormatPageDelta || si.RawFormat == RawFormatCDC {
 			sealed, err := sealedSet(store)
 			if err != nil {
 				return nil, err
@@ -1548,6 +1736,9 @@ func ExtractRankFromStore(store Store, epoch, rank int) (*RankImage, error) {
 			}
 			if si.RawFormat == RawFormatPageDelta && !sealed[si.BaseEpoch] {
 				return nil, unsealedBaseErr(man, si)
+			}
+			if e := unsealedChunkSrc(si, man.Epoch, sealed); e >= 0 {
+				return nil, unsealedChunkErr(man, si, e)
 			}
 		}
 		return loadShard(store, man, si)
@@ -1581,6 +1772,10 @@ func ReadSetOf(man *Manifest) []netmodel.EpochRead {
 			// up to a whole shard would erase exactly the read-cost win the
 			// format exists for. The base shard is charged separately below.
 			r.Bytes += man.PaddedBytesPerRank * int64(len(si.DeltaPages)) / pagesOf(si.RawSize, si.PageSize)
+		case man.PaddedBytesPerRank > 0 && si.RawFormat == RawFormatCDC && si.RawSize > 0:
+			// Same pro-rata rule for CDC objects: the object holds only the
+			// fresh chunk bytes. Reused chunks' sources are charged below.
+			r.Bytes += man.PaddedBytesPerRank * cdcFreshLen(si) / si.RawSize
 		case man.PaddedBytesPerRank > 0:
 			r.Bytes += man.PaddedBytesPerRank
 		default:
@@ -1599,6 +1794,38 @@ func ReadSetOf(man *Manifest) []netmodel.EpochRead {
 				b.Bytes += man.PaddedBytesPerRank
 			} else {
 				b.Bytes += si.BaseSize
+			}
+		}
+		if si.RawFormat == RawFormatCDC {
+			// Restart also reads every distinct source object reused chunks
+			// point into, pro-rata by the chunk bytes actually pulled from
+			// each (padded basis when configured, raw chunk bytes otherwise —
+			// the merge reads sources sequentially, skipping unused spans).
+			srcBytes := make(map[int]int64)
+			srcObjs := make(map[int]map[int]bool)
+			for k := range si.Chunks {
+				c := &si.Chunks[k]
+				if c.SrcEpoch == si.RefEpoch && c.SrcRank == si.Rank {
+					continue // fresh: in the CDC object charged above
+				}
+				srcBytes[c.SrcEpoch] += c.Len
+				if srcObjs[c.SrcEpoch] == nil {
+					srcObjs[c.SrcEpoch] = make(map[int]bool)
+				}
+				srcObjs[c.SrcEpoch][c.SrcRank] = true
+			}
+			for e, bytes := range srcBytes {
+				b := byEpoch[e]
+				if b == nil {
+					b = &netmodel.EpochRead{Epoch: e}
+					byEpoch[e] = b
+				}
+				b.Shards += len(srcObjs[e])
+				if man.PaddedBytesPerRank > 0 && si.RawSize > 0 {
+					b.Bytes += man.PaddedBytesPerRank * bytes / si.RawSize
+				} else {
+					b.Bytes += bytes
+				}
 			}
 		}
 	}
@@ -1695,6 +1922,13 @@ func VerifyStore(store Store) ([]StoreFault, error) {
 				faults = append(faults, StoreFault{
 					Epoch: e, Rank: si.Rank, RefEpoch: si.BaseEpoch,
 					Err: fmt.Errorf("delta-references base epoch %d, which is not sealed in the store", si.BaseEpoch),
+				})
+				continue
+			}
+			if bad := unsealedChunkSrc(si, man.Epoch, sealed); bad >= 0 {
+				faults = append(faults, StoreFault{
+					Epoch: e, Rank: si.Rank, RefEpoch: bad,
+					Err: fmt.Errorf("chunk-references epoch %d, which is not sealed in the store", bad),
 				})
 				continue
 			}

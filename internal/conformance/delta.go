@@ -87,12 +87,12 @@ func VerifyDeltaChain(algo string, opts Options) (*DeltaChainReport, error) {
 
 	// Baseline: async incremental WITHOUT deltas — whole-shard reuse only.
 	const streamBudget = int64(4) << 20
-	baseRep, _, err := runChain(&o, algo, goldenRep, factory, tmp+"/whole", minEpochs, true, true, false, netmodel.TierPFS, streamBudget)
+	baseRep, _, err := runChain(&o, algo, goldenRep, factory, tmp+"/whole", minEpochs, true, true, false, false, netmodel.TierPFS, streamBudget)
 	if err != nil {
 		return nil, err
 	}
 	// Under test: the same pipeline with page deltas on.
-	deltaRep, deltaFS, err := runChain(&o, algo, goldenRep, factory, tmp+"/delta", minEpochs, true, true, true, netmodel.TierPFS, streamBudget)
+	deltaRep, deltaFS, err := runChain(&o, algo, goldenRep, factory, tmp+"/delta", minEpochs, true, true, true, false, netmodel.TierPFS, streamBudget)
 	if err != nil {
 		return nil, err
 	}

@@ -65,6 +65,10 @@ type Params struct {
 	// otherwise a valid compress/flate level). Advisory — see
 	// TierSpec.FlateLevel.
 	StorageFlateLevel int
+	// StorageCodec is the PFS tier's codec name hint ("" or "flate" selects
+	// flate at StorageFlateLevel; "none" the identity passthrough).
+	// Advisory — see TierSpec.Codec.
+	StorageCodec string
 
 	// Burst-buffer tier (node-local NVMe or a dedicated staging appliance).
 	// Both bandwidths zero means the system has no burst tier: TierBurstBuffer
@@ -77,6 +81,10 @@ type Params struct {
 	// BurstFlateLevel is the burst tier's codec hint (same semantics as
 	// StorageFlateLevel): a fast staging tier typically picks BestSpeed.
 	BurstFlateLevel int
+	// BurstCodec is the burst tier's codec name hint (same semantics as
+	// StorageCodec): a bandwidth-rich staging tier can pick "none" and skip
+	// compression CPU entirely.
+	BurstCodec string
 }
 
 // PerlmutterLike returns parameters tuned to resemble a Slingshot-11 system
@@ -168,6 +176,19 @@ func (p Params) Validate() error {
 	} {
 		if c.v < -2 || c.v > 9 {
 			return fmt.Errorf("netmodel: parameter %s = %d is not a flate level", c.name, c.v)
+		}
+	}
+	// Codec name hints must spell a codec the shard encoders implement.
+	for _, c := range []struct {
+		name string
+		v    string
+	}{
+		{"StorageCodec", p.StorageCodec}, {"BurstCodec", p.BurstCodec},
+	} {
+		switch c.v {
+		case "", "flate", "none":
+		default:
+			return fmt.Errorf("netmodel: parameter %s = %q is not a codec (want flate or none)", c.name, c.v)
 		}
 	}
 	return nil

@@ -45,6 +45,9 @@ type TierSpec struct {
 	// archival tier can spend CPU on ratio. Purely advisory — it prices
 	// nothing here; ckpt.ModelStore passes it to the shard encoders.
 	FlateLevel int
+	// Codec is the tier's codec name hint ("" or "flate": flate at
+	// FlateLevel; "none": identity passthrough). Advisory like FlateLevel.
+	Codec string
 }
 
 // HasBurstTier reports whether the parameters describe a real burst tier.
@@ -80,6 +83,7 @@ func (m *Model) Tier(t StorageTier) TierSpec {
 			Seek:        m.P.BurstSeek,
 			Stagger:     m.P.BurstStagger,
 			FlateLevel:  m.P.BurstFlateLevel,
+			Codec:       m.P.BurstCodec,
 		}
 	}
 	return TierSpec{
@@ -89,6 +93,7 @@ func (m *Model) Tier(t StorageTier) TierSpec {
 		Seek:        m.P.StorageSeek,
 		Stagger:     m.P.StorageStagger,
 		FlateLevel:  m.P.StorageFlateLevel,
+		Codec:       m.P.StorageCodec,
 	}
 }
 

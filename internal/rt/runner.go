@@ -69,6 +69,17 @@ type CkptPlan struct {
 	// the dirty pages (ckpt.RawFormatPageDelta) against the chain's full
 	// base shard. Requires Store (defaulted like Incremental).
 	Delta bool
+	// CDC enables content-defined chunking on top of Incremental: capture
+	// hashing splits each rank's stream on Gear rolling-hash boundaries,
+	// and a changed rank stores only content-new chunks as a chunk object
+	// (ckpt.RawFormatCDC) referencing the chain's existing chunks — reuse
+	// survives insertions, deletions, and cross-rank duplication. Requires
+	// Store (defaulted like Incremental); mutually exclusive with Delta.
+	CDC bool
+	// Codec overrides the stored-object codec for every committed shard:
+	// "flate" (default) or "none" (identity passthrough, no compression
+	// CPU). Empty defers to the storage tier's codec hint.
+	Codec string
 	// Tier selects the storage tier checkpoint writes are charged against
 	// (netmodel.TierPFS by default). TierBurstBuffer stages captures on the
 	// fast tier — with Async the job stalls only for the burst open
@@ -240,6 +251,8 @@ func newCoordinator(w *mpi.World, plan *CkptPlan) (*ckpt.Coordinator, error) {
 		coord.Async = plan.Async
 		coord.Incremental = plan.Incremental
 		coord.Delta = plan.Delta
+		coord.CDC = plan.CDC
+		coord.Codec = plan.Codec
 		coord.Tier = plan.Tier
 		coord.StreamBudgetBytes = plan.StreamBudgetBytes
 		coord.KeepEpochs = plan.KeepEpochs
@@ -250,7 +263,7 @@ func newCoordinator(w *mpi.World, plan *CkptPlan) (*ckpt.Coordinator, error) {
 		coord.FallbackWaitVT = plan.FallbackWaitVT
 		coord.AdmitBacklogBytes = plan.AdmitBacklogBytes
 		store := plan.Store
-		if store == nil && (plan.Incremental || plan.Delta || plan.KeepEpochs > 0 || plan.CompactEvery > 0) {
+		if store == nil && (plan.Incremental || plan.Delta || plan.CDC || plan.KeepEpochs > 0 || plan.CompactEvery > 0) {
 			// Incremental reuse needs epochs to diff against (and the
 			// lifecycle policies need epochs to manage); default to an
 			// in-memory store when the plan names none.
